@@ -1,0 +1,99 @@
+// Command experiments regenerates every table and figure of the
+// paper's evaluation from the mstx reproduction. With no flags it
+// runs the full set (E1–E10); individual experiments can be selected.
+//
+// Usage:
+//
+//	experiments [-fig1] [-tones] [-fig2] [-fig3] [-fig4] [-table1]
+//	            [-table2] [-path] [-fig6] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mstx/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig1   = flag.Bool("fig1", false, "E1: output spectra of the faulty 16-tap filter (Figure 1)")
+		tones  = flag.Bool("tones", false, "E2: fault coverage vs. number of stimulus tones (§3)")
+		fig2   = flag.Bool("fig2", false, "E3: parameter distribution and loss regions (Figure 2)")
+		fig3   = flag.Bool("fig3", false, "E4: composition boundary checks (Figure 3)")
+		fig4   = flag.Bool("fig4", false, "E5: IIP3 accuracy by translation method (Figure 4)")
+		table1 = flag.Bool("table1", false, "E7: synthesized test plan (Table 1)")
+		table2 = flag.Bool("table2", false, "E6: FCL/YL threshold sweep (Table 2)")
+		pathE  = flag.Bool("path", false, "E8: digital filter tested through the analog path (§5)")
+		fig6   = flag.Bool("fig6", false, "E9: experimental set-up attribute walk (Figure 6)")
+		topoff = flag.Bool("topoff", false, "E10: ATPG top-off of the functional residue (DFT reduction)")
+		quick  = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+	)
+	flag.Parse()
+
+	all := !(*fig1 || *tones || *fig2 || *fig3 || *fig4 || *table1 || *table2 || *pathE || *fig6 || *topoff)
+	run := func(enabled bool, id, title string, f func() (interface{ Format() string }, error)) {
+		if !enabled && !all {
+			return
+		}
+		fmt.Printf("==== %s — %s ====\n", id, title)
+		res, err := f()
+		if err != nil {
+			log.Printf("%s failed: %v", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+	}
+
+	patterns := 0 // experiment defaults
+	devices := 0
+	tonesP := 0
+	base, long := 0, 0
+	if *quick {
+		patterns = 512
+		devices = 6
+		tonesP = 256
+		base, long = 256, 512
+	}
+
+	run(*fig1, "E1/Fig1", "output spectra, fault-free and faulty 16-tap FIR",
+		func() (interface{ Format() string }, error) {
+			return experiments.Fig1(experiments.Fig1Options{Patterns: patterns})
+		})
+	run(*tones, "E2/§3", "fault coverage vs. stimulus tones",
+		func() (interface{ Format() string }, error) {
+			return experiments.CoverageVsTones(experiments.TonesOptions{Patterns: tonesP})
+		})
+	run(*fig2, "E3/Fig2", "parameter pdf, FC-loss and yield-loss",
+		func() (interface{ Format() string }, error) {
+			return experiments.Fig2(experiments.DefaultFig2Options())
+		})
+	run(*fig3, "E4/Fig3", "composition boundary checks",
+		func() (interface{ Format() string }, error) { return experiments.Fig3() })
+	run(*fig4, "E5/Fig4", "IIP3 accuracy: full access vs nominal vs adaptive",
+		func() (interface{ Format() string }, error) {
+			return experiments.Fig4(experiments.Fig4Options{Devices: devices})
+		})
+	run(*table2, "E6/Table2", "FCL and YL vs threshold (P1dB, IIP3, fc)",
+		func() (interface{ Format() string }, error) {
+			return experiments.Table2(experiments.Table2Options{Devices: devices})
+		})
+	run(*table1, "E7/Table1", "synthesized system-level test plan",
+		func() (interface{ Format() string }, error) { return experiments.Table1() })
+	run(*pathE, "E8/§5", "digital filter through the analog path",
+		func() (interface{ Format() string }, error) {
+			return experiments.PathFaultSim(experiments.PathFaultOptions{
+				BasePatterns: base, LongPatterns: long,
+			})
+		})
+	run(*fig6, "E9/Fig6", "experimental set-up attribute walk",
+		func() (interface{ Format() string }, error) { return experiments.Fig6() })
+	run(*topoff, "E10/top-off", "ATPG classification of the functional residue",
+		func() (interface{ Format() string }, error) {
+			return experiments.TopOff(experiments.TopOffOptions{Patterns: tonesP})
+		})
+}

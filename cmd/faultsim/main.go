@@ -1,0 +1,167 @@
+// Command faultsim runs a stand-alone gate-level stuck-at fault
+// simulation of a low-pass FIR filter with a multi-tone stimulus and
+// exact output comparison — the ideal-input digital-test baseline of
+// the paper.
+//
+// Usage:
+//
+//	faultsim [-taps 16] [-width 10] [-patterns 1024] [-tones 2]
+//	         [-amp 460] [-collapse] [-undetected]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"mstx/internal/atpg"
+	"mstx/internal/digital"
+	"mstx/internal/dsp"
+	"mstx/internal/fault"
+	"mstx/internal/netlist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("faultsim: ")
+	var (
+		taps       = flag.Int("taps", 16, "filter length")
+		width      = flag.Int("width", 10, "input word width (bits)")
+		patterns   = flag.Int("patterns", 1024, "record length")
+		tones      = flag.Int("tones", 2, "stimulus tone count")
+		amp        = flag.Float64("amp", 460, "composite stimulus amplitude (codes)")
+		collapse   = flag.Bool("collapse", true, "apply structural fault collapsing")
+		undetected = flag.Bool("undetected", false, "list undetected faults")
+		topoff     = flag.Bool("atpg", false, "run PODEM on the undetected faults (DFT top-off)")
+		diagnose   = flag.Int("diagnose", -1, "inject the i-th fault, observe, and locate it via the fault dictionary")
+		cutoff     = flag.Float64("cutoff", 0.15, "filter normalized cutoff")
+		dump       = flag.String("dump", "", "write the gate-level netlist to this file and exit")
+		fracBits   = flag.Int("frac", 8, "coefficient fractional bits")
+	)
+	flag.Parse()
+
+	coeffs, err := digital.DesignLowPassFIR(*taps, *cutoff, dsp.Hamming)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ints, scale, err := digital.QuantizeCoeffs(coeffs, *fracBits)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fir, err := digital.NewFIR(ints, *width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := fir.Circuit.Stats()
+	fmt.Printf("filter: %d taps, %d-bit input, coefficients x%g\n", *taps, *width, scale)
+	fmt.Printf("netlist: %s\n", st)
+	if *dump != "" {
+		fh, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := netlist.Write(fh, fir.Circuit); err != nil {
+			log.Fatal(err)
+		}
+		if err := fh.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("netlist written to %s\n", *dump)
+		return
+	}
+
+	u := fault.NewUniverse(fir, *collapse)
+	full := fault.NewUniverse(fir, false)
+	fmt.Printf("faults: %d (collapsed from %d)\n\n", u.Size(), full.Size())
+
+	n := *patterns
+	xs := make([]int64, n)
+	bins := []int{n/16 + 1, n/16 + 17, n/16 - 13, n/16 + 29, n/16 + 5}
+	if *tones < 1 || *tones > len(bins) {
+		log.Fatalf("tones must be in [1, %d]", len(bins))
+	}
+	per := *amp / float64(*tones)
+	for i := range xs {
+		var v float64
+		for t := 0; t < *tones; t++ {
+			v += per * math.Sin(2*math.Pi*float64(bins[t])*float64(i)/float64(n)+float64(t))
+		}
+		xs[i] = int64(math.Round(v))
+	}
+	rep, err := fault.Simulate(u, xs, fault.ExactDetector{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	und := rep.UndetectedResults()
+	for _, lsbs := range []int{3, 5, 8} {
+		fmt.Printf("undetected confined to %d LSBs: %.1f%%\n",
+			lsbs, 100*fault.LSBConfinement(und, lsbs))
+	}
+	if *undetected {
+		fmt.Println("\nundetected faults:")
+		for _, r := range und {
+			fmt.Printf("  %-12s tap %2d  max|diff| %d\n", r.Fault, r.Tap, r.MaxAbsDiff)
+		}
+	}
+	if *diagnose >= 0 {
+		if *diagnose >= u.Size() {
+			log.Fatalf("-diagnose index %d out of range [0,%d)", *diagnose, u.Size())
+		}
+		dict, err := fault.BuildDictionary(u, xs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f := u.Faults[*diagnose]
+		sim := digital.NewFIRSim(fir)
+		if err := sim.InjectFault(f, ^uint64(0)); err != nil {
+			log.Fatal(err)
+		}
+		observed, err := sim.RunPeriodic(xs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		good := fir.ReferencePeriodic(xs)
+		cands, err := dict.Diagnose(good, observed, 5)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\ninjected %v (tap %d); dictionary candidates:\n", f, fir.TapOfNet(f.Net))
+		for i, c := range cands {
+			exact := ""
+			if c.Exact {
+				exact = " (exact)"
+			}
+			fmt.Printf("  %d. %-12s tap %2d  score %.3f%s\n",
+				i+1, c.Fault, fir.TapOfNet(c.Fault.Net), c.Score, exact)
+		}
+	}
+	if *topoff {
+		sum, err := atpg.Classify(fir.Circuit, rep.Undetected(), 5000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nATPG top-off on the functional residue: %s\n", sum)
+		verified := 0
+		for _, r := range sum.Testable {
+			burst, err := atpg.PatternToSamples(fir, r.Pattern)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ok, err := atpg.VerifyPattern(fir, r.Fault, burst)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ok {
+				verified++
+			}
+		}
+		fmt.Printf("sample bursts verified: %d/%d\n", verified, len(sum.Testable))
+		total := len(rep.Results)
+		redundant := len(sum.Untestable)
+		fmt.Printf("effective coverage (excluding redundant faults): %.1f%%\n",
+			100*float64(rep.Detected())/float64(total-redundant))
+	}
+}

@@ -1,0 +1,11 @@
+// Package mstx is a reproduction of "Test Synthesis for Mixed-Signal
+// SOC Paths" (Ozev, Bayraktaroglu, Orailoglu — DATE 2000): a test
+// synthesis and test-translation framework for mixed-signal signal
+// paths, built entirely on the Go standard library.
+//
+// The public entry points live in internal/core (test-plan synthesis
+// and execution), internal/experiments (the paper's tables and
+// figures as callable experiments), and the cmd/ binaries. See
+// README.md for the architecture overview and DESIGN.md for the
+// per-experiment index.
+package mstx

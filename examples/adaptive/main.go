@@ -1,0 +1,66 @@
+// Adaptive demonstrates the paper's Figure 4 on live devices: the
+// mixer's IIP3 measured through the path with nominal gains vs. with
+// the adaptive path-gain-first strategy, over a small population of
+// process-varied devices.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"mstx/internal/digital"
+	"mstx/internal/dsp"
+	"mstx/internal/params"
+	"mstx/internal/path"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	coeffs, err := digital.DesignLowPassFIR(13, 0.18, dsp.Hamming)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := path.DefaultSpec(coeffs)
+	cfg := params.Config{N: 2048, Settle: 256}
+	st := params.DefaultIIP3Stimulus()
+	rng := rand.New(rand.NewSource(11))
+
+	fmt.Println("device   true IIP3   nominal-gains err   adaptive err")
+	var sumN, sumA float64
+	n := 8
+	for i := 0; i < n; i++ {
+		device, err := spec.Sample(rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nom, err := params.MeasureMixerIIP3(device, params.NominalGains, st, cfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ada, err := params.MeasureMixerIIP3(device, params.Adaptive, st, cfg, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  #%d     %7.2f dBm   %+13.2f dB   %+10.2f dB\n",
+			i, nom.True, nom.Delta(), ada.Delta())
+		sumN += nom.Delta() * nom.Delta()
+		sumA += ada.Delta() * ada.Delta()
+	}
+	fmt.Printf("\nRMS error: nominal-gains %.2f dB, adaptive %.2f dB\n",
+		rms(sumN, n), rms(sumA, n))
+	fmt.Println("the adaptive method replaces the unknown mixer+filter gains with the")
+	fmt.Println("accurately measured composite path gain, leaving only the amplifier's")
+	fmt.Println("tolerance in the error budget (paper Figure 4).")
+}
+
+func rms(sumSq float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return math.Sqrt(sumSq / float64(n))
+}

@@ -1,0 +1,58 @@
+// Quickstart: build the default mixed-signal communication path,
+// synthesize its system-level test plan, and run the plan against the
+// nominal device.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mstx/internal/core"
+	"mstx/internal/digital"
+	"mstx/internal/dsp"
+	"mstx/internal/params"
+	"mstx/internal/path"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Design the digital channel-selection filter and bundle the
+	//    path specification (Amp → Mixer → LPF → ADC → FIR).
+	coeffs, err := digital.DesignLowPassFIR(13, 0.18, dsp.Hamming)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := path.DefaultSpec(coeffs)
+
+	// 2. Create the synthesizer and derive the test plan for the
+	//    standard Table 1 parameter set.
+	synth, err := core.New(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := synth.Synthesize(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test plan: %d tests, %d need DFT\n", len(plan.Tests), len(plan.DFTRequired))
+	for _, t := range plan.Tests {
+		fmt.Printf("  %-14s via %-12s (%s)\n", t.Request.Param, t.Kind, t.Reason)
+	}
+
+	// 3. Execute against the nominal device instance.
+	outcomes, err := synth.Execute(synth.Nominal, params.DefaultConfig(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmeasurements on the nominal device:")
+	for _, o := range outcomes {
+		if o.Skipped {
+			continue
+		}
+		fmt.Printf("  %-14s measured %9.4g %-3s (true %9.4g)\n",
+			o.Test.Request.Param, o.Result.Measured, o.Result.Unit, o.Result.True)
+	}
+}

@@ -1,0 +1,3 @@
+module mstx
+
+go 1.22

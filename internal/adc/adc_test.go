@@ -1,0 +1,458 @@
+package adc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mstx/internal/dsp"
+	"mstx/internal/msignal"
+	"mstx/internal/tolerance"
+)
+
+func spec10() Spec {
+	return Spec{
+		Name:       "adc",
+		Bits:       10,
+		FullScaleV: 1.0,
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := spec10()
+	s.Bits = 1
+	if _, err := s.Build(); err == nil {
+		t.Error("bits=1 accepted")
+	}
+	s = spec10()
+	s.FullScaleV = 0
+	if _, err := s.Build(); err == nil {
+		t.Error("FS=0 accepted")
+	}
+	s = spec10()
+	s.Bits = 31
+	if _, err := s.Sample(rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bits=31 accepted by Sample")
+	}
+}
+
+func TestLSBAndRange(t *testing.T) {
+	a, err := spec10().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.LSB()-2.0/1024) > 1e-15 {
+		t.Errorf("LSB = %g", a.LSB())
+	}
+	lo, hi := a.CodeRange()
+	if lo != -512 || hi != 511 {
+		t.Errorf("range = [%d, %d]", lo, hi)
+	}
+	if a.Name() != "adc" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestIdealConversion(t *testing.T) {
+	a, err := spec10().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsb := a.LSB()
+	codes := a.Convert([]float64{0, lsb, -lsb, 0.5, -0.5, 10, -10}, nil)
+	want := []int64{0, 1, -1, 256, -256, 511, -512}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Errorf("code[%d] = %d, want %d", i, codes[i], want[i])
+		}
+	}
+}
+
+func TestOffsetAndGainError(t *testing.T) {
+	s := spec10()
+	s.OffsetLSB = tolerance.Abs(3, 0)
+	s.GainErrRel = tolerance.Abs(0.01, 0)
+	a, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Convert([]float64{0}, nil)
+	if c[0] != 3 {
+		t.Errorf("offset code = %d, want 3", c[0])
+	}
+	// Gain error: input 0.5 V is 256 LSB ideal; +1% -> ~258.56+3 -> 262.
+	c = a.Convert([]float64{0.5}, nil)
+	want := int64(math.Round(0.5*1.01/a.LSB() + 3))
+	if c[0] != want {
+		t.Errorf("gain-err code = %d, want %d", c[0], want)
+	}
+}
+
+func TestQuantizationSNR(t *testing.T) {
+	a, err := spec10().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := 1e6
+	n := 8192
+	f := dsp.CoherentBin(fs, n, 1021)
+	x := msignal.NewTone(f, 0.99).Render(n, fs, nil)
+	rec := a.Process(x, fs, nil)
+	an, err := dsp.Analyze(rec, fs, []float64{f}, dsp.Rectangular, dsp.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SINAD of a near-full-scale sine should be within ~2 dB of ideal.
+	if math.Abs(an.SINAD-a.IdealSNRdB()) > 2.5 {
+		t.Errorf("SINAD = %g dB, ideal %g", an.SINAD, a.IdealSNRdB())
+	}
+	if math.Abs(an.ENOB-10) > 0.5 {
+		t.Errorf("ENOB = %g, want ~10", an.ENOB)
+	}
+}
+
+func TestINLBowMeasured(t *testing.T) {
+	s := spec10()
+	s.INLPeakLSB = tolerance.Abs(2, 0)
+	a, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inl, dnl := a.MeasureINLDNL(300000)
+	peak := PeakAbs(inl[5 : len(inl)-5])
+	if peak < 1.0 || peak > 3.0 {
+		t.Errorf("measured INL peak = %g LSB, want ~2", peak)
+	}
+	// An ideal converter has near-zero measured DNL.
+	ideal, err := spec10().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dnl0 := ideal.MeasureINLDNL(300000)
+	if PeakAbs(dnl0[5:len(dnl0)-5]) > 0.3 {
+		t.Errorf("ideal DNL peak = %g", PeakAbs(dnl0[5:len(dnl0)-5]))
+	}
+	_ = dnl
+}
+
+func TestDNLTableFrozen(t *testing.T) {
+	s := spec10()
+	s.DNLSigmaLSB = 0.3
+	rng := rand.New(rand.NewSource(60))
+	a, err := s.Sample(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conversions must be deterministic given the frozen table.
+	x := []float64{0.123, -0.456, 0.789}
+	c1 := a.Convert(x, nil)
+	c2 := a.Convert(x, nil)
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatal("frozen DNL not deterministic")
+		}
+	}
+	// And a sampled device differs from ideal somewhere on a ramp.
+	ideal, err := spec10().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := 0; i < 2000; i++ {
+		v := -0.99 + 1.98*float64(i)/1999
+		if a.Convert([]float64{v}, nil)[0] != ideal.Convert([]float64{v}, nil)[0] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("sampled DNL device identical to ideal")
+	}
+}
+
+func TestSaturation(t *testing.T) {
+	a, err := spec10().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Convert([]float64{5, -5}, nil)
+	if c[0] != 511 || c[1] != -512 {
+		t.Errorf("saturation codes: %v", c)
+	}
+}
+
+func TestInputNoise(t *testing.T) {
+	s := spec10()
+	s.NoiseRMSLSB = 1.5
+	a, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	x := make([]float64, 20000)
+	codes := a.Convert(x, rng)
+	var mean, ms float64
+	for _, c := range codes {
+		mean += float64(c)
+	}
+	mean /= float64(len(codes))
+	for _, c := range codes {
+		ms += (float64(c) - mean) * (float64(c) - mean)
+	}
+	rms := math.Sqrt(ms / float64(len(codes)))
+	// Quantized noise RMS should be near 1.5 LSB (plus quantization).
+	if rms < 1.2 || rms > 1.9 {
+		t.Errorf("code noise RMS = %g, want ~1.5", rms)
+	}
+}
+
+func TestPropagate(t *testing.T) {
+	s := spec10()
+	s.OffsetLSB = tolerance.Abs(2, 1)
+	s.GainErrRel = tolerance.Abs(0, 0.005)
+	a, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := msignal.NewTone(100e3, 0.5)
+	out := a.Propagate(in)
+	if math.Abs(out.Tones[0].Amp-0.5) > 1e-12 {
+		t.Errorf("amplitude changed: %g", out.Tones[0].Amp)
+	}
+	if out.NoiseRMS < a.LSB()/math.Sqrt(12)*0.99 {
+		t.Errorf("quantization noise missing: %g", out.NoiseRMS)
+	}
+	if out.DC != 2*a.LSB() {
+		t.Errorf("offset DC = %g", out.DC)
+	}
+	if out.AmpAccuracy != 0.005 {
+		t.Errorf("gain-error accuracy = %g", out.AmpAccuracy)
+	}
+}
+
+func TestSigmaDeltaValidation(t *testing.T) {
+	if _, err := NewSigmaDelta(0, 32); err == nil {
+		t.Error("FS=0 accepted")
+	}
+	if _, err := NewSigmaDelta(1, 1); err == nil {
+		t.Error("OSR=1 accepted")
+	}
+}
+
+func TestSigmaDeltaSNRScalesWithOSR(t *testing.T) {
+	fsRate := 2.56e6
+	nOut := 2048
+	measure := func(osr int) float64 {
+		sd, err := NewSigmaDelta(1, osr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := nOut * osr
+		outRate := fsRate / float64(osr)
+		f := dsp.CoherentBin(outRate, nOut, 37)
+		x := msignal.NewTone(f, 0.5).Render(n, fsRate, nil)
+		dec := sd.ConvertOversampled(x, nil)
+		an, err := dsp.Analyze(dec, outRate, []float64{f}, dsp.Rectangular,
+			dsp.AnalyzeOptions{Harmonics: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an.SNR
+	}
+	snr32 := measure(32)
+	snr128 := measure(128)
+	// First-order loop: +30 dB/decade of OSR -> 128/32 = 4× ≈ 18 dB.
+	gain := snr128 - snr32
+	if gain < 10 || gain > 26 {
+		t.Errorf("SNR gain for 4× OSR = %g dB, want ~18", gain)
+	}
+	// A sinc¹ decimator aliases some shaped noise back into band, so
+	// the absolute SNR sits below the ideal-brick-wall bound.
+	if snr32 < 18 {
+		t.Errorf("OSR=32 SNR = %g dB, implausibly low", snr32)
+	}
+}
+
+func TestSigmaDeltaBitstreamLevels(t *testing.T) {
+	sd, err := NewSigmaDelta(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := sd.Modulate(make([]float64, 100), nil)
+	for _, b := range bits {
+		if b != 1 && b != -1 {
+			t.Fatalf("bitstream level %g", b)
+		}
+	}
+	// DC input tracks in the decimated mean.
+	x := make([]float64, 16*400)
+	for i := range x {
+		x[i] = 0.25
+	}
+	dec := sd.Decimate(sd.Modulate(x, nil))
+	if math.Abs(dsp.Mean(dec[2:])-0.25) > 0.02 {
+		t.Errorf("decimated DC = %g, want 0.25", dsp.Mean(dec[2:]))
+	}
+}
+
+func TestSigmaDeltaLeakDegradesSNR(t *testing.T) {
+	osr := 64
+	fsRate := 2.56e6
+	nOut := 1024
+	outRate := fsRate / float64(osr)
+	f := dsp.CoherentBin(outRate, nOut, 21)
+	x := msignal.NewTone(f, 0.5).Render(nOut*osr, fsRate, nil)
+	run := func(leak float64) float64 {
+		sd, err := NewSigmaDelta(1, osr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd.IntegratorLeak = leak
+		dec := sd.ConvertOversampled(x, nil)
+		an, err := dsp.Analyze(dec, outRate, []float64{f}, dsp.Rectangular,
+			dsp.AnalyzeOptions{Harmonics: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an.SNR
+	}
+	if healthy, leaky := run(0), run(0.05); leaky >= healthy {
+		t.Errorf("leak should degrade SNR: %g vs %g", leaky, healthy)
+	}
+}
+
+func TestTheoreticalSNR(t *testing.T) {
+	sd, err := NewSigmaDelta(1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sd.TheoreticalSNRdB()-(1.76-5.17+60)) > 1e-9 {
+		t.Errorf("theoretical SNR = %g", sd.TheoreticalSNRdB())
+	}
+}
+
+func TestPeakAbs(t *testing.T) {
+	if PeakAbs([]float64{-3, 2, 1}) != 3 {
+		t.Error("PeakAbs wrong")
+	}
+	if PeakAbs(nil) != 0 {
+		t.Error("PeakAbs(nil) != 0")
+	}
+}
+
+func TestSineHistogramINL(t *testing.T) {
+	s := spec10()
+	s.INLPeakLSB = tolerance.Abs(2, 0)
+	a, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inl, dnl := a.MeasureINLDNLSine(400000)
+	peak := PeakAbs(inl[10 : len(inl)-10])
+	if peak < 1.0 || peak > 3.2 {
+		t.Errorf("sine-histogram INL peak = %g LSB, want ~2", peak)
+	}
+	// Ideal converter: near-zero INL and DNL by the same method.
+	ideal, err := spec10().Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inl0, dnl0 := ideal.MeasureINLDNLSine(400000)
+	if PeakAbs(inl0[10:len(inl0)-10]) > 0.5 {
+		t.Errorf("ideal sine-histogram INL peak = %g", PeakAbs(inl0[10:len(inl0)-10]))
+	}
+	if PeakAbs(dnl0[10:len(dnl0)-10]) > 0.5 {
+		t.Errorf("ideal sine-histogram DNL peak = %g", PeakAbs(dnl0[10:len(dnl0)-10]))
+	}
+	_ = dnl
+}
+
+func TestSineHistogramDNLSeesFrozenTable(t *testing.T) {
+	s := spec10()
+	s.DNLSigmaLSB = 0.4
+	rng := rand.New(rand.NewSource(62))
+	a, err := s.Sample(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dnl := a.MeasureINLDNLSine(400000)
+	if PeakAbs(dnl[10:len(dnl)-10]) < 0.3 {
+		t.Errorf("DNL table invisible to the sine histogram: peak %g",
+			PeakAbs(dnl[10:len(dnl)-10]))
+	}
+}
+
+func TestSigmaDelta2Validation(t *testing.T) {
+	if _, err := NewSigmaDelta2(0, 32); err == nil {
+		t.Error("FS=0 accepted")
+	}
+	if _, err := NewSigmaDelta2(1, 1); err == nil {
+		t.Error("OSR=1 accepted")
+	}
+}
+
+func TestSigmaDelta2BeatsFirstOrder(t *testing.T) {
+	fsRate := 2.56e6
+	nOut := 2048
+	osr := 64
+	outRate := fsRate / float64(osr)
+	f := dsp.CoherentBin(outRate, nOut, 37)
+	x := msignal.NewTone(f, 0.4).Render(nOut*osr, fsRate, nil)
+
+	sd1, err := NewSigmaDelta(1, osr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd2, err := NewSigmaDelta2(1, osr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snr := func(dec []float64) float64 {
+		an, err := dsp.Analyze(dec, outRate, []float64{f}, dsp.Rectangular,
+			dsp.AnalyzeOptions{Harmonics: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an.SNR
+	}
+	s1 := snr(sd1.ConvertOversampled(x, nil))
+	s2 := snr(sd2.ConvertOversampled(x, nil))
+	if s2 <= s1+6 {
+		t.Errorf("2nd order SNR %g dB should beat 1st order %g dB by >6 dB", s2, s1)
+	}
+	// The decimated output must still track the tone amplitude.
+	dec := sd2.ConvertOversampled(x, nil)
+	s, err := dsp.PowerSpectrum(dec, outRate, dsp.Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dsp.MeasureTone(s, f)
+	if math.Abs(m.Amplitude-0.4)/0.4 > 0.1 {
+		t.Errorf("2nd-order tone amplitude = %g, want ~0.4", m.Amplitude)
+	}
+}
+
+func TestSigmaDelta2LeakDegrades(t *testing.T) {
+	fsRate := 2.56e6
+	nOut := 1024
+	osr := 64
+	outRate := fsRate / float64(osr)
+	f := dsp.CoherentBin(outRate, nOut, 21)
+	x := msignal.NewTone(f, 0.4).Render(nOut*osr, fsRate, nil)
+	run := func(leak float64) float64 {
+		sd, err := NewSigmaDelta2(1, osr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd.Leak1 = leak
+		dec := sd.ConvertOversampled(x, nil)
+		an, err := dsp.Analyze(dec, outRate, []float64{f}, dsp.Rectangular,
+			dsp.AnalyzeOptions{Harmonics: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an.SNR
+	}
+	if healthy, leaky := run(0), run(0.1); leaky >= healthy {
+		t.Errorf("leak should degrade SNR: %g vs %g", leaky, healthy)
+	}
+}

@@ -1,0 +1,168 @@
+// Package analog provides behavioural time-domain models of the
+// analog blocks in the paper's communication signal path — amplifier,
+// local oscillator, mixer, and switched-capacitor low-pass filter —
+// together with the non-idealities the test-translation scheme must
+// reason about: third-order nonlinearity derived from IIP3, gain
+// compression from P1dB, thermal noise from noise figure, DC offset,
+// LO feed-through, clock spurs, and phase noise.
+//
+// Every block implements two views of itself:
+//
+//   - Process: sample-accurate waveform transformation, used by the
+//     simulation substrate standing in for silicon/SPICE;
+//   - Propagate: the paper's attribute-level signal propagation, used
+//     by the test-translation engine.
+//
+// Blocks are *device instances*: their exported parameter fields hold
+// the actual (possibly process-varied or faulty) values. Specs hold
+// nominal values plus tolerances and can Build nominal devices or
+// Sample process-varied ones.
+package analog
+
+import (
+	"math"
+	"math/rand"
+
+	"mstx/internal/msignal"
+)
+
+// Reference conditions shared by the dBm-referred specifications.
+const (
+	// RefImpedance is the reference impedance for dBm conversions, Ω.
+	RefImpedance = 50.0
+	// KT is Boltzmann's constant times the 290 K reference
+	// temperature, in W/Hz.
+	KT = 4.0038821e-21
+)
+
+// Block is one module of an analog signal path.
+type Block interface {
+	// Name identifies the block instance in reports.
+	Name() string
+	// Process transforms a waveform sampled at fs Hz. Noise and other
+	// random imperfections draw from rng; a nil rng yields the
+	// deterministic (noise-free) response. Process starts from cleared
+	// internal state: each call models an independent capture.
+	Process(x []float64, fs float64, rng *rand.Rand) []float64
+	// Propagate transforms the attribute model of the input signal
+	// into the attribute model at the block output, accumulating
+	// uncertainty from the block's tolerances.
+	Propagate(in msignal.Signal) msignal.Signal
+}
+
+// DBmToAmp converts a dBm power (into RefImpedance) to sine amplitude
+// in volts.
+func DBmToAmp(dbm float64) float64 {
+	p := math.Pow(10, (dbm-30)/10)
+	return math.Sqrt(2 * RefImpedance * p)
+}
+
+// AmpToDBm converts a sine amplitude in volts to dBm into
+// RefImpedance.
+func AmpToDBm(amp float64) float64 {
+	if amp <= 0 {
+		return math.Inf(-1)
+	}
+	return 10*math.Log10(amp*amp/(2*RefImpedance)) + 30
+}
+
+// Nonlinearity is the memoryless weak-nonlinearity model used by the
+// RF blocks: y = G·x + A3·x³, hard-clipped at ±Clip when Clip > 0.
+type Nonlinearity struct {
+	// Gain is the small-signal linear voltage gain.
+	Gain float64
+	// A3 is the third-order coefficient (negative for compressive
+	// devices).
+	A3 float64
+	// Clip is the output hard-clip level in volts (0 disables).
+	Clip float64
+}
+
+// NewNonlinearity derives the model from RF-style specifications:
+// linear voltage gain, input IP3 in dBm, and input P1dB in dBm
+// (math.Inf(1) for either disables that effect). The classic cubic
+// relation A3 = -(4/3)·G/A_IIP3² is used; the clip level is placed at
+// the output amplitude corresponding to the specified input P1dB.
+func NewNonlinearity(gain, iip3DBm, p1dBDBm float64) Nonlinearity {
+	nl := Nonlinearity{Gain: gain}
+	if !math.IsInf(iip3DBm, 1) {
+		a := DBmToAmp(iip3DBm)
+		nl.A3 = -4.0 / 3.0 * gain / (a * a)
+	}
+	if !math.IsInf(p1dBDBm, 1) {
+		ain := DBmToAmp(p1dBDBm)
+		nl.Clip = math.Abs(gain) * ain
+	}
+	return nl
+}
+
+// Apply evaluates the nonlinearity for one sample.
+func (nl Nonlinearity) Apply(x float64) float64 {
+	y := nl.Gain*x + nl.A3*x*x*x
+	if nl.Clip > 0 {
+		if y > nl.Clip {
+			y = nl.Clip
+		} else if y < -nl.Clip {
+			y = -nl.Clip
+		}
+	}
+	return y
+}
+
+// IM3Amplitude predicts the amplitude of each third-order intermod
+// product (2f1−f2, 2f2−f1) at the output for a two-tone input with
+// per-tone amplitude a: (3/4)·|A3|·a³.
+func (nl Nonlinearity) IM3Amplitude(a float64) float64 {
+	return 0.75 * math.Abs(nl.A3) * a * a * a
+}
+
+// HD3Amplitude predicts the amplitude of the third harmonic at the
+// output for a single tone of amplitude a: (1/4)·|A3|·a³.
+func (nl Nonlinearity) HD3Amplitude(a float64) float64 {
+	return 0.25 * math.Abs(nl.A3) * a * a * a
+}
+
+// CompressionInputAmp returns the input amplitude at which the cubic
+// model's gain has dropped by dB decibels (the 1 dB compression point
+// for dB = 1). Returns +Inf for a linear model.
+func (nl Nonlinearity) CompressionInputAmp(dB float64) float64 {
+	if nl.A3 == 0 {
+		return math.Inf(1)
+	}
+	drop := 1 - math.Pow(10, -dB/20)
+	return math.Sqrt(drop * 4.0 / 3.0 * math.Abs(nl.Gain) / math.Abs(nl.A3))
+}
+
+// NoiseRMSFromNF converts a noise figure in dB to the RMS of the
+// *input-referred added* noise voltage over bandwidth bw Hz at the
+// reference impedance: v² = (F−1)·kT·bw·R. The simulation adds this
+// at the block input (scaled by gain at the output).
+func NoiseRMSFromNF(nfDB, bw float64) float64 {
+	if bw <= 0 {
+		return 0
+	}
+	f := math.Pow(10, nfDB/10)
+	if f < 1 {
+		f = 1
+	}
+	return math.Sqrt((f - 1) * KT * bw * RefImpedance)
+}
+
+// FriisCascadeNF combines stage noise figures (dB) and gains (dB)
+// into the cascade noise figure in dB — the composition rule the
+// translation-by-composition method uses for NF.
+func FriisCascadeNF(nfDB, gainDB []float64) float64 {
+	if len(nfDB) == 0 {
+		return 0
+	}
+	f := math.Pow(10, nfDB[0]/10)
+	g := 1.0
+	for i := 1; i < len(nfDB); i++ {
+		g *= math.Pow(10, gainDB[i-1]/10)
+		if g <= 0 {
+			break
+		}
+		f += (math.Pow(10, nfDB[i]/10) - 1) / g
+	}
+	return 10 * math.Log10(f)
+}

@@ -1,0 +1,510 @@
+package analog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mstx/internal/dsp"
+	"mstx/internal/msignal"
+	"mstx/internal/tolerance"
+)
+
+func TestDBmAmpRoundTrip(t *testing.T) {
+	for _, dbm := range []float64{-30, -10, 0, 10, 20} {
+		a := DBmToAmp(dbm)
+		if got := AmpToDBm(a); math.Abs(got-dbm) > 1e-9 {
+			t.Errorf("round trip %g dBm -> %g", dbm, got)
+		}
+	}
+	if !math.IsInf(AmpToDBm(0), -1) {
+		t.Error("AmpToDBm(0) should be -inf")
+	}
+	// 0 dBm across 50Ω is ~316 mV.
+	if a := DBmToAmp(0); math.Abs(a-0.316227) > 1e-4 {
+		t.Errorf("DBmToAmp(0) = %g", a)
+	}
+}
+
+func TestNonlinearityIP3Math(t *testing.T) {
+	nl := NewNonlinearity(10, 0, math.Inf(1)) // gain 10, IIP3 = 0 dBm
+	aip3 := DBmToAmp(0)
+	wantA3 := -4.0 / 3.0 * 10 / (aip3 * aip3)
+	if math.Abs(nl.A3-wantA3) > 1e-9 {
+		t.Fatalf("A3 = %g, want %g", nl.A3, wantA3)
+	}
+	// At the intercept amplitude, IM3 equals the fundamental (by
+	// definition of the intercept of the small-signal asymptotes).
+	if got, want := nl.IM3Amplitude(aip3), math.Abs(nl.Gain)*aip3; math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("IM3 at intercept = %g, want %g", got, want)
+	}
+	// HD3 is one third of IM3.
+	if got := nl.HD3Amplitude(0.1) * 3; math.Abs(got-nl.IM3Amplitude(0.1)) > 1e-12 {
+		t.Error("HD3 != IM3/3")
+	}
+	// Linear model: no compression.
+	lin := NewNonlinearity(10, math.Inf(1), math.Inf(1))
+	if lin.A3 != 0 || !math.IsInf(lin.CompressionInputAmp(1), 1) {
+		t.Error("linear model should not compress")
+	}
+}
+
+func TestCompressionPointRelation(t *testing.T) {
+	// With a3 from IIP3, the 1 dB compression input sits ~9.64 dB
+	// below IIP3 (the classic cubic-model relation).
+	nl := NewNonlinearity(4, 10, math.Inf(1))
+	a1db := nl.CompressionInputAmp(1)
+	gap := 10 - AmpToDBm(a1db)
+	if math.Abs(gap-9.636) > 0.05 {
+		t.Errorf("IIP3 - P1dB = %g dB, want ~9.64", gap)
+	}
+}
+
+func TestNonlinearityClip(t *testing.T) {
+	nl := Nonlinearity{Gain: 2, Clip: 1}
+	if got := nl.Apply(10); got != 1 {
+		t.Errorf("positive clip = %g", got)
+	}
+	if got := nl.Apply(-10); got != -1 {
+		t.Errorf("negative clip = %g", got)
+	}
+	if got := nl.Apply(0.1); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("linear region = %g", got)
+	}
+}
+
+func TestNoiseRMSFromNF(t *testing.T) {
+	// NF = 3 dB over 1 MHz: v = sqrt((10^0.3-1)·kT·1e6·50) ≈ 14.1 nV·316...
+	v := NoiseRMSFromNF(3, 1e6)
+	want := math.Sqrt((math.Pow(10, 0.3) - 1) * KT * 1e6 * RefImpedance)
+	if math.Abs(v-want) > 1e-15 {
+		t.Errorf("noise = %g, want %g", v, want)
+	}
+	if NoiseRMSFromNF(3, 0) != 0 {
+		t.Error("zero bandwidth should be zero noise")
+	}
+	if NoiseRMSFromNF(-1, 1e6) != 0 {
+		t.Error("NF < 0 dB should clamp to noiseless")
+	}
+}
+
+func TestFriisCascade(t *testing.T) {
+	// Classic: first stage dominates when its gain is high.
+	nf := FriisCascadeNF([]float64{2, 10}, []float64{30, 10})
+	if math.Abs(nf-2.04) > 0.05 {
+		t.Errorf("cascade NF = %g, want ~2.04", nf)
+	}
+	if FriisCascadeNF(nil, nil) != 0 {
+		t.Error("empty cascade should be 0")
+	}
+	// Single stage passes through.
+	if got := FriisCascadeNF([]float64{5}, []float64{20}); math.Abs(got-5) > 1e-9 {
+		t.Errorf("single stage = %g", got)
+	}
+}
+
+func ampSpec() AmplifierSpec {
+	return AmplifierSpec{
+		Name:    "amp",
+		GainDB:  tolerance.Abs(20, 0.5),
+		IIP3DBm: tolerance.Abs(5, 0.5),
+		P1dBDBm: tolerance.Abs(-5, 0.5),
+		NFDB:    3,
+		OffsetV: tolerance.Abs(0.002, 0.001),
+	}
+}
+
+func TestAmplifierGainMeasuredBySpectrum(t *testing.T) {
+	amp := ampSpec().Build()
+	fs := 10e6
+	n := 4096
+	f := dsp.CoherentBin(fs, n, 101)
+	in := msignal.NewTone(f, 0.001).Render(n, fs, nil)
+	out := amp.Process(in, fs, nil)
+	spec, err := dsp.PowerSpectrum(out, fs, dsp.Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dsp.MeasureTone(spec, f)
+	gainDB := dsp.AmplitudeDB(m.Amplitude / 0.001)
+	if math.Abs(gainDB-20) > 0.05 {
+		t.Errorf("measured gain = %g dB, want 20", gainDB)
+	}
+}
+
+func TestAmplifierIIP3MeasuredByTwoTone(t *testing.T) {
+	spec := ampSpec()
+	spec.P1dBDBm = tolerance.Abs(100, 0) // effectively no clipping
+	amp := spec.Build()
+	fs := 10e6
+	n := 8192
+	f1 := dsp.CoherentBin(fs, n, 401)
+	f2 := dsp.CoherentBin(fs, n, 431)
+	ain := DBmToAmp(-30) // well below compression
+	in := msignal.NewTwoTone(f1, f2, ain).Render(n, fs, nil)
+	out := amp.Process(in, fs, nil)
+	s, err := dsp.PowerSpectrum(out, fs, dsp.Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fund := dsp.MeasureTone(s, f1)
+	im3 := dsp.MeasureTone(s, 2*f1-f2)
+	// IIP3 = Pin + (Pfund − Pim3)/2, all dB.
+	pin := AmpToDBm(ain)
+	iip3 := pin + (dsp.AmplitudeDB(fund.Amplitude)-dsp.AmplitudeDB(im3.Amplitude))/2
+	if math.Abs(iip3-5) > 0.3 {
+		t.Errorf("measured IIP3 = %g dBm, want 5", iip3)
+	}
+}
+
+func TestAmplifierOffsetAndNoise(t *testing.T) {
+	amp := ampSpec().Build()
+	fs := 10e6
+	in := make([]float64, 20000)
+	rng := rand.New(rand.NewSource(50))
+	out := amp.Process(in, fs, rng)
+	if math.Abs(dsp.Mean(out)-0.002) > 1e-4 {
+		t.Errorf("offset = %g, want 0.002", dsp.Mean(out))
+	}
+	// Output noise ≈ gain × input-referred NF noise over fs/2.
+	var acrms float64
+	mean := dsp.Mean(out)
+	for _, v := range out {
+		acrms += (v - mean) * (v - mean)
+	}
+	acrms = math.Sqrt(acrms / float64(len(out)))
+	want := amp.Gain() * NoiseRMSFromNF(3, fs/2)
+	if acrms < want*0.9 || acrms > want*1.1 {
+		t.Errorf("output noise = %g, want ~%g", acrms, want)
+	}
+	// Noiseless without RNG.
+	clean := amp.Process(in, fs, nil)
+	for _, v := range clean {
+		if v != 0.002 {
+			t.Fatal("nil-RNG output should be pure offset")
+		}
+	}
+}
+
+func TestAmplifierSampleSpread(t *testing.T) {
+	spec := ampSpec()
+	rng := rand.New(rand.NewSource(51))
+	var sum, sum2 float64
+	n := 3000
+	for i := 0; i < n; i++ {
+		d := spec.Sample(rng)
+		sum += d.GainDB
+		sum2 += d.GainDB * d.GainDB
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean-20) > 0.05 || math.Abs(std-0.5) > 0.05 {
+		t.Errorf("sampled gain stats: mean %g std %g", mean, std)
+	}
+}
+
+func TestAmplifierPropagate(t *testing.T) {
+	amp := ampSpec().Build()
+	in := msignal.NewTwoTone(1e6, 1.1e6, 0.01)
+	out := amp.Propagate(in)
+	// Tones scaled by nominal gain 10×.
+	if math.Abs(out.Tones[0].Amp-0.1) > 1e-9 {
+		t.Errorf("propagated amp = %g", out.Tones[0].Amp)
+	}
+	if out.AmpAccuracy <= 0 {
+		t.Error("gain tolerance not accumulated")
+	}
+	if out.DC != 0.002 || out.DCAccuracy != 0.001 {
+		t.Errorf("DC propagation: %g ± %g", out.DC, out.DCAccuracy)
+	}
+	if out.NoiseRMS <= 0 {
+		t.Error("noise not accumulated")
+	}
+	// Cubic spurs present: HD3 ×2 tones + IM3 ×2.
+	if len(out.Spurs) != 4 {
+		t.Errorf("spurs = %d, want 4", len(out.Spurs))
+	}
+	if amp.Name() != "amp" {
+		t.Errorf("Name = %q", amp.Name())
+	}
+}
+
+func loSpec() OscillatorSpec {
+	return OscillatorSpec{
+		Name:                   "lo",
+		FreqHz:                 tolerance.Rel(9e6, 1e-5),
+		PhaseNoiseRadPerSample: 0,
+	}
+}
+
+func mixSpec() MixerSpec {
+	return MixerSpec{
+		Name:          "mix",
+		ConvGainDB:    tolerance.Abs(6, 0.5),
+		IIP3DBm:       tolerance.Abs(10, 0.5),
+		P1dBDBm:       tolerance.Abs(100, 0), // no clip in unit tests
+		NFDB:          8,
+		LOIsolationDB: tolerance.Abs(40, 1),
+		LODriveAmpV:   0.3,
+	}
+}
+
+func TestMixerDownconversion(t *testing.T) {
+	lo := loSpec().Build()
+	mx := mixSpec().Build(lo)
+	fs := 40e6
+	n := 8192
+	fRF := dsp.CoherentBin(fs, n, 2048+205) // 9e6 needs care; use bins
+	// Choose LO on a bin too so products are coherent.
+	loBin := 1843 // ~9 MHz at fs=40 MHz, n=8192 -> 9.0e6/(40e6/8192)=1843.2; use exact bin
+	lo.FreqHz = dsp.CoherentBin(fs, n, loBin)
+	lo.Spec.FreqHz = tolerance.Abs(lo.FreqHz, 0)
+	fRF = dsp.CoherentBin(fs, n, loBin+210)
+	ain := 0.01
+	in := msignal.NewTone(fRF, ain).Render(n, fs, nil)
+	out := mx.Process(in, fs, nil)
+	s, err := dsp.PowerSpectrum(out, fs, dsp.Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fIF := fRF - lo.FreqHz
+	m := dsp.MeasureTone(s, fIF)
+	wantAmp := mx.ConvGain() * ain
+	if math.Abs(m.Amplitude-wantAmp)/wantAmp > 0.01 {
+		t.Errorf("IF amplitude = %g, want %g", m.Amplitude, wantAmp)
+	}
+	// LO leakage at f_LO, 40 dB below the 0.3 V drive.
+	leak := dsp.MeasureTone(s, lo.FreqHz)
+	wantLeak := 0.3 / 100
+	if math.Abs(leak.Amplitude-wantLeak)/wantLeak > 0.05 {
+		t.Errorf("LO leakage = %g, want %g", leak.Amplitude, wantLeak)
+	}
+}
+
+func TestMixerPropagate(t *testing.T) {
+	lo := loSpec().Build()
+	mx := mixSpec().Build(lo)
+	in := msignal.NewTwoTone(10e6, 10.1e6, 0.01)
+	out := mx.Propagate(in)
+	if math.Abs(out.Tones[0].Freq-1e6) > 1 {
+		t.Errorf("IF freq = %g", out.Tones[0].Freq)
+	}
+	wantAmp := 0.01 * math.Pow(10, 6.0/20)
+	if math.Abs(out.Tones[0].Amp-wantAmp) > 1e-9 {
+		t.Errorf("IF amp = %g, want %g", out.Tones[0].Amp, wantAmp)
+	}
+	if out.FreqAccuracy <= 0 {
+		t.Error("LO frequency error not accumulated")
+	}
+	// LO leakage spur tracked at the LO frequency.
+	found := false
+	for _, sp := range out.Spurs {
+		if math.Abs(sp.Freq-9e6) < 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no LO leakage spur tracked")
+	}
+	if mx.Name() != "mix" || lo.Name() != "lo" {
+		t.Error("names wrong")
+	}
+}
+
+func TestOscillatorPhaseNoiseAndError(t *testing.T) {
+	spec := loSpec()
+	spec.PhaseNoiseRadPerSample = 0.01
+	lo := spec.Build()
+	rng := rand.New(rand.NewSource(52))
+	th := lo.Phases(1000, 40e6, rng)
+	// With phase noise, the trajectory deviates from the ideal ramp.
+	w := 2 * math.Pi * lo.FreqHz / 40e6
+	var dev float64
+	for i, p := range th {
+		dev += math.Abs(p - w*float64(i))
+	}
+	if dev == 0 {
+		t.Error("phase noise had no effect")
+	}
+	// Without RNG it is exact.
+	th = lo.Phases(100, 40e6, nil)
+	for i, p := range th {
+		if math.Abs(p-w*float64(i)) > 1e-9 {
+			t.Fatal("nil-RNG phases should be ideal")
+		}
+	}
+	// Frequency error of a sampled instance.
+	rng2 := rand.New(rand.NewSource(53))
+	inst := spec.Sample(rng2)
+	if inst.FrequencyError() == 0 {
+		t.Error("sampled LO has exactly zero frequency error (unlikely)")
+	}
+}
+
+func lpfSpec() LowPassSpec {
+	return LowPassSpec{
+		Name:           "lpf",
+		CutoffHz:       tolerance.Rel(1.5e6, 0.05),
+		GainDB:         tolerance.Abs(0, 0.3),
+		ClockHz:        16e6,
+		ClockSpurV:     0.0005,
+		OutputNoiseRMS: 1e-4,
+		OffsetV:        tolerance.Abs(0.001, 0.0005),
+	}
+}
+
+func TestLowPassFrequencyResponse(t *testing.T) {
+	lpf := lpfSpec().Build()
+	fs := 40e6
+	n := 8192
+	// In-band tone passes at ~unity; tone at 3×fc attenuated ~19 dB
+	// (2nd-order Butterworth: 20log10 sqrt(1+81) ≈ 19.1 dB).
+	fIn := dsp.CoherentBin(fs, n, 60)   // ~293 kHz
+	fOut := dsp.CoherentBin(fs, n, 922) // ~4.5 MHz = 3×fc
+	for _, tc := range []struct {
+		f       float64
+		wantMag float64
+		tol     float64
+	}{
+		{fIn, 1.0, 0.02},
+		// The discrete biquad deviates from the analog prototype by
+		// bilinear frequency warping out of band; allow 10%.
+		{fOut, lpf.ResponseMag(fOut), 0.10},
+	} {
+		in := msignal.NewTone(tc.f, 0.01).Render(n, fs, nil)
+		out := lpf.Process(in, fs, nil)
+		s, err := dsp.PowerSpectrum(out[n/2:], fs, dsp.Rectangular) // skip transient
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := dsp.MeasureTone(s, tc.f)
+		got := m.Amplitude / 0.01
+		if math.Abs(got-tc.wantMag)/tc.wantMag > tc.tol {
+			t.Errorf("|H(%g)| = %g, want %g ± %g%%", tc.f, got, tc.wantMag, tc.tol*100)
+		}
+	}
+}
+
+func TestLowPassCutoffIs3dB(t *testing.T) {
+	lpf := lpfSpec().Build()
+	mag := lpf.ResponseMag(lpf.CutoffHz)
+	if math.Abs(dsp.AmplitudeDB(mag)-(-3.0103)) > 0.01 {
+		t.Errorf("|H(fc)| = %g dB, want -3.01", dsp.AmplitudeDB(mag))
+	}
+	if got := lpf.StopbandGainDB(15e6); got > -35 {
+		t.Errorf("stopband gain at 10×fc = %g dB, want < -35", got)
+	}
+}
+
+func TestLowPassClockSpurAndOffset(t *testing.T) {
+	lpf := lpfSpec().Build()
+	fs := 64e6
+	n := 8192
+	lpfClock := dsp.CoherentBin(fs, n, 2048) // 16 MHz on-bin
+	lpf.Spec.ClockHz = lpfClock
+	in := make([]float64, n)
+	out := lpf.Process(in, fs, nil)
+	s, err := dsp.PowerSpectrum(out, fs, dsp.Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spur := dsp.MeasureTone(s, lpfClock)
+	if math.Abs(spur.Amplitude-0.0005)/0.0005 > 0.05 {
+		t.Errorf("clock spur = %g, want 0.0005", spur.Amplitude)
+	}
+	if math.Abs(dsp.Mean(out)-0.001) > 1e-5 {
+		t.Errorf("offset = %g", dsp.Mean(out))
+	}
+}
+
+func TestLowPassPropagate(t *testing.T) {
+	lpf := lpfSpec().Build()
+	in := msignal.NewTone(300e3, 0.1)
+	in = in.AddSpur(27e6, 0.01) // LO leakage from upstream
+	out := lpf.Propagate(in)
+	if math.Abs(out.Tones[0].Amp-0.1*lpf.ResponseMag(300e3)) > 1e-3 {
+		t.Errorf("in-band tone = %g", out.Tones[0].Amp)
+	}
+	// The far-out spur must be strongly attenuated.
+	var spurAmp float64
+	for _, sp := range out.Spurs {
+		if math.Abs(sp.Freq-27e6) < 1 {
+			spurAmp = sp.Amp
+		}
+	}
+	if spurAmp == 0 || spurAmp > 0.01*0.01 {
+		t.Errorf("spur after filter = %g, want heavily attenuated", spurAmp)
+	}
+	// Near the corner, cut-off tolerance must grow amplitude accuracy
+	// beyond the gain-only contribution.
+	inBand := lpf.Propagate(msignal.NewTone(100e3, 0.1))
+	nearCorner := lpf.Propagate(msignal.NewTone(1.4e6, 0.1))
+	if nearCorner.AmpAccuracy <= inBand.AmpAccuracy {
+		t.Errorf("corner accuracy %g should exceed in-band %g",
+			nearCorner.AmpAccuracy, inBand.AmpAccuracy)
+	}
+	if lpf.Name() != "lpf" {
+		t.Error("name wrong")
+	}
+}
+
+func TestLowPassSampleSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	inst := lpfSpec().Sample(rng)
+	if inst.CutoffHz == 1.5e6 {
+		t.Error("sampled cutoff exactly nominal (unlikely)")
+	}
+}
+
+func TestMixerSampleSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	lo := loSpec().Sample(rng)
+	mx := mixSpec().Sample(lo, rng)
+	if mx.ConvGainDB == 6 {
+		t.Error("sampled conversion gain exactly nominal (unlikely)")
+	}
+}
+
+func TestLowPassGroupDelay(t *testing.T) {
+	lpf := lpfSpec().Build()
+	fs := 64e6
+	// Deep in band the 2nd-order Butterworth group delay approaches
+	// sqrt(2)/(2π·fc) ≈ 150 ns for fc = 1.5 MHz.
+	tau := lpf.GroupDelayAt(100e3, fs)
+	want := math.Sqrt2 / (2 * math.Pi * lpf.CutoffHz)
+	if math.Abs(tau-want)/want > 0.1 {
+		t.Errorf("group delay at DC-ish = %g, want ~%g", tau, want)
+	}
+	// Delay grows toward the corner for a Butterworth.
+	if lpf.GroupDelayAt(1.4e6, fs) <= tau {
+		t.Error("group delay should rise toward the corner")
+	}
+}
+
+func TestLowPassPhasePropagation(t *testing.T) {
+	lpf := lpfSpec().Build()
+	// Two nearby tones: the propagated phase difference over Δω must
+	// equal the prototype group delay at their midpoint.
+	f1, f2 := 0.9e6, 0.95e6
+	in := msignal.NewTwoTone(f1, f2, 0.1)
+	out := lpf.Propagate(in)
+	dphi := out.Tones[1].Phase - out.Tones[0].Phase
+	tau := -dphi / (2 * math.Pi * (f2 - f1))
+	// Prototype group delay (use the realized helper at a high rate,
+	// where warping vanishes).
+	want := lpf.GroupDelayAt((f1+f2)/2, 1e9)
+	if math.Abs(tau-want)/want > 0.05 {
+		t.Errorf("attribute group delay %g vs prototype %g", tau, want)
+	}
+	// Phase accuracy grows with the cut-off tolerance, more near the
+	// corner than deep in band.
+	nearCorner := lpf.Propagate(msignal.NewTone(1.4e6, 0.1))
+	deep := lpf.Propagate(msignal.NewTone(100e3, 0.1))
+	if nearCorner.PhaseAccuracy <= deep.PhaseAccuracy {
+		t.Errorf("corner phase accuracy %g should exceed deep-band %g",
+			nearCorner.PhaseAccuracy, deep.PhaseAccuracy)
+	}
+	if deep.PhaseAccuracy <= 0 {
+		t.Error("phase accuracy not accumulated")
+	}
+}

@@ -1,0 +1,479 @@
+// Package atpg implements a PODEM-style deterministic test-pattern
+// generator for single stuck-at faults on the combinational netlist
+// substrate. In the paper's flow it closes the loop on DFT reduction:
+// the functional (translated) test catches most faults; ATPG then
+// classifies the residue into deterministically-testable faults (which
+// could be applied through scan or, for the FIR, as a short sample
+// burst on the delay line) and provably untestable (redundant) faults
+// that no DFT can or needs to catch.
+package atpg
+
+import (
+	"fmt"
+
+	"mstx/internal/netlist"
+)
+
+// Value is the composite five-valued D-algebra element, encoded as a
+// pair of three-valued (0, 1, X) machines: good and faulty.
+type Value struct {
+	// Good and Faulty are the two machines' ternary values.
+	Good, Faulty Ternary
+}
+
+// Ternary is a three-valued logic level.
+type Ternary uint8
+
+// Ternary levels.
+const (
+	X Ternary = iota
+	Zero
+	One
+)
+
+// String renders the ternary level.
+func (t Ternary) String() string {
+	switch t {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// not inverts a ternary value (X stays X).
+func (t Ternary) not() Ternary {
+	switch t {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	default:
+		return X
+	}
+}
+
+// IsD reports whether the value is D (good 1 / faulty 0) or D̄
+// (good 0 / faulty 1) — a propagated fault effect.
+func (v Value) IsD() bool {
+	return v.Good != X && v.Faulty != X && v.Good != v.Faulty
+}
+
+// known reports whether both machines are assigned.
+func (v Value) known() bool { return v.Good != X && v.Faulty != X }
+
+// Status classifies the outcome of test generation for one fault.
+type Status int
+
+const (
+	// Testable: a pattern was found and verified.
+	Testable Status = iota
+	// Untestable: the search space was exhausted — the fault is
+	// redundant and needs no test.
+	Untestable
+	// Aborted: the backtrack limit was hit before a conclusion.
+	Aborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Testable:
+		return "testable"
+	case Untestable:
+		return "untestable"
+	default:
+		return "aborted"
+	}
+}
+
+// Result is the outcome of Generate for one fault.
+type Result struct {
+	// Fault is the targeted fault.
+	Fault netlist.Fault
+	// Status classifies the outcome.
+	Status Status
+	// Pattern holds one primary-input assignment detecting the fault
+	// (indexed like Circuit.Inputs); unassigned (don't-care) inputs
+	// are filled with false. Valid only when Status == Testable.
+	Pattern []bool
+	// Backtracks counts decisions undone during the search.
+	Backtracks int
+}
+
+// Generator runs PODEM over one circuit. It is not safe for
+// concurrent use; create one per goroutine.
+type Generator struct {
+	c *netlist.Circuit
+	// MaxBacktracks bounds the search per fault (default 1000).
+	MaxBacktracks int
+
+	values  []Value // per net
+	fanout  [][]int // net -> gate indices it feeds
+	gateOf  []int   // net -> driving gate index, -1 for PI
+	isPO    []bool  // net -> primary output?
+	piIndex map[netlist.NetID]int
+	fault   netlist.Fault
+}
+
+// NewGenerator builds a generator for the circuit.
+func NewGenerator(c *netlist.Circuit) *Generator {
+	g := &Generator{
+		c:             c,
+		MaxBacktracks: 1000,
+		values:        make([]Value, c.NumNets()),
+		fanout:        make([][]int, c.NumNets()),
+		gateOf:        make([]int, c.NumNets()),
+		isPO:          make([]bool, c.NumNets()),
+		piIndex:       make(map[netlist.NetID]int, len(c.Inputs)),
+	}
+	for i := range g.gateOf {
+		g.gateOf[i] = -1
+	}
+	for gi, gate := range c.Gates {
+		g.gateOf[gate.Out] = gi
+		for _, in := range gate.In {
+			g.fanout[in] = append(g.fanout[in], gi)
+		}
+	}
+	for _, n := range c.Outputs {
+		g.isPO[n] = true
+	}
+	for i, n := range c.Inputs {
+		g.piIndex[n] = i
+	}
+	return g
+}
+
+// decision is one PI assignment on the PODEM decision stack.
+type decision struct {
+	pi      netlist.NetID
+	value   Ternary
+	flipped bool
+}
+
+// Generate runs PODEM for fault f.
+func (g *Generator) Generate(f netlist.Fault) (Result, error) {
+	if int(f.Net) < 0 || int(f.Net) >= g.c.NumNets() {
+		return Result{}, fmt.Errorf("atpg: fault on unknown net %d", int(f.Net))
+	}
+	g.fault = f
+	res := Result{Fault: f}
+	var stack []decision
+	// backtrack undoes the most recent unflipped decision; it returns
+	// false when the space is exhausted.
+	backtrack := func() bool {
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if !top.flipped {
+				top.value = top.value.not()
+				top.flipped = true
+				res.Backtracks++
+				return true
+			}
+			stack = stack[:len(stack)-1]
+		}
+		return false
+	}
+	assigned := func(pi netlist.NetID) bool {
+		for _, d := range stack {
+			if d.pi == pi {
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		// Imply current assignments.
+		for i := range g.values {
+			g.values[i] = Value{}
+		}
+		for _, d := range stack {
+			g.values[d.pi] = g.piValue(d.pi, d.value)
+		}
+		g.simulate()
+
+		conflict := false
+		switch g.state() {
+		case stateDetected:
+			pat := make([]bool, len(g.c.Inputs))
+			for _, d := range stack {
+				pat[g.piIndex[d.pi]] = d.value == One
+			}
+			res.Status = Testable
+			res.Pattern = pat
+			return res, nil
+		case stateImpossible:
+			conflict = true
+		default: // stateOpen: next objective, backtraced to a PI
+			objNet, objVal, ok := g.objective()
+			if ok {
+				pi, v := g.backtrace(objNet, objVal)
+				if !assigned(pi) {
+					stack = append(stack, decision{pi: pi, value: v})
+					continue
+				}
+			}
+			// No progress possible under the current assignments.
+			conflict = true
+		}
+		if conflict {
+			if !backtrack() {
+				res.Status = Untestable
+				return res, nil
+			}
+			if res.Backtracks > g.MaxBacktracks {
+				res.Status = Aborted
+				return res, nil
+			}
+		}
+	}
+}
+
+// piValue builds the PI's composite value honouring the fault site.
+func (g *Generator) piValue(n netlist.NetID, t Ternary) Value {
+	v := Value{Good: t, Faulty: t}
+	if n == g.fault.Net {
+		v.Faulty = stuckTernary(g.fault.Stuck)
+	}
+	return v
+}
+
+func stuckTernary(s netlist.StuckValue) Ternary {
+	if s == netlist.StuckAt1 {
+		return One
+	}
+	return Zero
+}
+
+// simulate runs three-valued forward simulation of both machines,
+// applying the fault override on the faulty machine.
+func (g *Generator) simulate() {
+	for gi := range g.c.Gates {
+		gate := &g.c.Gates[gi]
+		good := evalTernary(gate.Type, g.values, gate.In, func(v Value) Ternary { return v.Good })
+		faulty := evalTernary(gate.Type, g.values, gate.In, func(v Value) Ternary { return v.Faulty })
+		out := Value{Good: good, Faulty: faulty}
+		if gate.Out == g.fault.Net {
+			out.Faulty = stuckTernary(g.fault.Stuck)
+		}
+		g.values[gate.Out] = out
+	}
+}
+
+// evalTernary evaluates one gate in three-valued logic.
+func evalTernary(t netlist.GateType, vals []Value, in []netlist.NetID, sel func(Value) Ternary) Ternary {
+	get := func(i int) Ternary { return sel(vals[in[i]]) }
+	switch t {
+	case netlist.And, netlist.Nand:
+		out := One
+		for i := range in {
+			switch get(i) {
+			case Zero:
+				out = Zero
+			case X:
+				if out == One {
+					out = X
+				}
+			}
+		}
+		if out == Zero {
+			out = Zero
+		}
+		if t == netlist.Nand {
+			out = out.not()
+		}
+		return out
+	case netlist.Or, netlist.Nor:
+		out := Zero
+		for i := range in {
+			switch get(i) {
+			case One:
+				out = One
+			case X:
+				if out == Zero {
+					out = X
+				}
+			}
+		}
+		if t == netlist.Nor {
+			out = out.not()
+		}
+		return out
+	case netlist.Xor, netlist.Xnor:
+		out := Zero
+		for i := range in {
+			v := get(i)
+			if v == X {
+				return X
+			}
+			if v == One {
+				out = out.not()
+			}
+		}
+		if t == netlist.Xnor {
+			out = out.not()
+		}
+		return out
+	case netlist.Not:
+		return get(0).not()
+	case netlist.Buf:
+		return get(0)
+	case netlist.Const0:
+		return Zero
+	case netlist.Const1:
+		return One
+	default:
+		return X
+	}
+}
+
+// search state classification
+type searchState int
+
+const (
+	stateOpen searchState = iota
+	stateDetected
+	stateImpossible
+)
+
+// state inspects the simulated values.
+func (g *Generator) state() searchState {
+	// Detected: a PO carries a D.
+	for _, po := range g.c.Outputs {
+		if g.values[po].IsD() {
+			return stateDetected
+		}
+	}
+	fv := g.values[g.fault.Net]
+	// Activation impossible: the good value is fixed equal to the
+	// stuck value.
+	if fv.Good != X && fv.Good == stuckTernary(g.fault.Stuck) {
+		return stateImpossible
+	}
+	// If activated, a D must still be able to reach a PO: the
+	// X-path check over the D-frontier.
+	if fv.Good != X && fv.IsD() {
+		if !g.xPathExists() {
+			return stateImpossible
+		}
+	}
+	return stateOpen
+}
+
+// xPathExists checks whether some net carrying D has a path to a PO
+// through gates whose outputs are still X.
+func (g *Generator) xPathExists() bool {
+	seen := make([]bool, g.c.NumNets())
+	var stack []netlist.NetID
+	for n := 0; n < g.c.NumNets(); n++ {
+		if g.values[n].IsD() {
+			stack = append(stack, netlist.NetID(n))
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if g.isPO[n] {
+			return true
+		}
+		for _, gi := range g.fanout[n] {
+			out := g.c.Gates[gi].Out
+			v := g.values[out]
+			if v.IsD() || v.Good == X || v.Faulty == X {
+				if !seen[out] {
+					stack = append(stack, out)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// objective returns the next (net, value) goal: activate the fault if
+// its good value is still X, otherwise advance the D-frontier.
+func (g *Generator) objective() (netlist.NetID, Ternary, bool) {
+	fv := g.values[g.fault.Net]
+	if fv.Good == X {
+		return g.fault.Net, stuckTernary(g.fault.Stuck).not(), true
+	}
+	// D-frontier: a gate with a D input and an X output; objective is
+	// a non-controlling value on one of its X inputs.
+	for gi := range g.c.Gates {
+		gate := &g.c.Gates[gi]
+		out := g.values[gate.Out]
+		if out.Good != X && out.Faulty != X {
+			continue
+		}
+		hasD := false
+		for _, in := range gate.In {
+			if g.values[in].IsD() {
+				hasD = true
+				break
+			}
+		}
+		if !hasD {
+			continue
+		}
+		nc, ok := nonControlling(gate.Type)
+		if !ok {
+			// XOR-like gates: any X input needs a definite value;
+			// choose 0.
+			nc = Zero
+		}
+		for _, in := range gate.In {
+			v := g.values[in]
+			if v.Good == X {
+				return in, nc, true
+			}
+		}
+	}
+	return 0, X, false
+}
+
+// nonControlling returns the gate's non-controlling input value.
+func nonControlling(t netlist.GateType) (Ternary, bool) {
+	switch t {
+	case netlist.And, netlist.Nand:
+		return One, true
+	case netlist.Or, netlist.Nor:
+		return Zero, true
+	default:
+		return X, false
+	}
+}
+
+// backtrace maps an objective to a PI assignment by walking X inputs
+// toward the inputs, flipping parity through inverting gates.
+func (g *Generator) backtrace(n netlist.NetID, v Ternary) (netlist.NetID, Ternary) {
+	for {
+		gi := g.gateOf[n]
+		if gi < 0 {
+			return n, v
+		}
+		gate := &g.c.Gates[gi]
+		switch gate.Type {
+		case netlist.Not, netlist.Nand, netlist.Nor, netlist.Xnor:
+			v = v.not()
+		case netlist.Const0, netlist.Const1:
+			// Cannot justify through a constant; return an arbitrary
+			// PI (the conflict surfaces at the next implication).
+			return g.c.Inputs[0], v
+		}
+		// Choose the first X-valued input to continue through.
+		next := gate.In[0]
+		for _, in := range gate.In {
+			if g.values[in].Good == X {
+				next = in
+				break
+			}
+		}
+		n = next
+	}
+}

@@ -1,0 +1,110 @@
+package atpg
+
+import (
+	"fmt"
+
+	"mstx/internal/digital"
+	"mstx/internal/netlist"
+)
+
+// Summary classifies a fault list after deterministic test generation.
+type Summary struct {
+	// Testable holds faults with a generated pattern.
+	Testable []Result
+	// Untestable holds provably redundant faults.
+	Untestable []Result
+	// Aborted holds faults the search gave up on.
+	Aborted []Result
+}
+
+// Counts returns the three class sizes.
+func (s *Summary) Counts() (testable, untestable, aborted int) {
+	return len(s.Testable), len(s.Untestable), len(s.Aborted)
+}
+
+// String summarizes the classification.
+func (s *Summary) String() string {
+	return fmt.Sprintf("%d testable, %d untestable (redundant), %d aborted",
+		len(s.Testable), len(s.Untestable), len(s.Aborted))
+}
+
+// Classify runs PODEM on every fault in the list. maxBacktracks <= 0
+// uses the generator default.
+func Classify(c *netlist.Circuit, faults []netlist.Fault, maxBacktracks int) (*Summary, error) {
+	g := NewGenerator(c)
+	if maxBacktracks > 0 {
+		g.MaxBacktracks = maxBacktracks
+	}
+	sum := &Summary{}
+	for _, f := range faults {
+		r, err := g.Generate(f)
+		if err != nil {
+			return nil, err
+		}
+		switch r.Status {
+		case Testable:
+			sum.Testable = append(sum.Testable, r)
+		case Untestable:
+			sum.Untestable = append(sum.Untestable, r)
+		default:
+			sum.Aborted = append(sum.Aborted, r)
+		}
+	}
+	return sum, nil
+}
+
+// PatternToSamples converts a PODEM pattern for a gate-level FIR into
+// the shortest input-sample burst realizing it: the pattern assigns
+// the delay-line words x[n], x[n−1], …, and the burst feeds them
+// oldest-first so that after Taps steps the delay line holds exactly
+// the pattern. The fault's output effect appears on the final step.
+func PatternToSamples(fir *digital.FIR, pattern []bool) ([]int64, error) {
+	w := fir.InWidth
+	if len(pattern) != fir.Taps()*w {
+		return nil, fmt.Errorf("atpg: pattern length %d != %d inputs", len(pattern), fir.Taps()*w)
+	}
+	words := make([]int64, fir.Taps())
+	for tap := 0; tap < fir.Taps(); tap++ {
+		var v uint64
+		for bit := 0; bit < w; bit++ {
+			if pattern[tap*w+bit] {
+				v |= 1 << uint(bit)
+			}
+		}
+		// Sign extend.
+		if w < 64 && v>>(uint(w)-1)&1 == 1 {
+			v |= ^uint64(0) << uint(w)
+		}
+		words[tap] = int64(v)
+	}
+	// delay[i] = x[n-i]: feed x[n-T+1] … x[n], i.e. words reversed.
+	burst := make([]int64, fir.Taps())
+	for i := range burst {
+		burst[i] = words[fir.Taps()-1-i]
+	}
+	return burst, nil
+}
+
+// VerifyPattern applies the burst to good and faulty gate-level
+// machines and reports whether the final output differs — the sanity
+// check that a generated pattern really detects its fault.
+func VerifyPattern(fir *digital.FIR, f netlist.Fault, burst []int64) (bool, error) {
+	good := digital.NewFIRSim(fir)
+	bad := digital.NewFIRSim(fir)
+	if err := bad.InjectFault(f, ^uint64(0)); err != nil {
+		return false, err
+	}
+	var gy, by int64
+	for _, x := range burst {
+		var err error
+		gy, err = good.StepValue(x)
+		if err != nil {
+			return false, err
+		}
+		by, err = bad.StepValue(x)
+		if err != nil {
+			return false, err
+		}
+	}
+	return gy != by, nil
+}

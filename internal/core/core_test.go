@@ -1,0 +1,270 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mstx/internal/digital"
+	"mstx/internal/dsp"
+	"mstx/internal/params"
+	"mstx/internal/path"
+	"mstx/internal/tolerance"
+	"mstx/internal/translate"
+)
+
+func newSynth(t testing.TB) *Synthesizer {
+	t.Helper()
+	coeffs, err := digital.DesignLowPassFIR(13, 0.18, dsp.Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(path.DefaultSpec(coeffs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewRejectsBadSpec(t *testing.T) {
+	coeffs, _ := digital.DesignLowPassFIR(13, 0.18, dsp.Hamming)
+	spec := path.DefaultSpec(coeffs)
+	spec.SimRate = 0
+	if _, err := New(spec); err == nil {
+		t.Error("bad spec accepted")
+	}
+}
+
+func TestSynthesizeAndExecuteNominalDevicePasses(t *testing.T) {
+	s := newSynth(t)
+	plan, err := s.Synthesize(nil) // default Table 1 requests
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != s.Plan || len(plan.Tests) == 0 {
+		t.Fatal("plan not stored")
+	}
+	cfg := params.Config{N: 2048, Settle: 256}
+	outcomes, err := s.Execute(s.Nominal, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(plan.Tests) {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if o.Skipped {
+			if o.Test.Kind != translate.Direct {
+				t.Errorf("%v skipped but not Direct", o.Test.Request.Param)
+			}
+			continue
+		}
+		if !o.Pass {
+			t.Errorf("nominal device failed %v: %v", o.Test.Request.Param, o.Result)
+		}
+	}
+}
+
+func TestExecuteRequiresSynthesize(t *testing.T) {
+	s := newSynth(t)
+	if _, err := s.Execute(s.Nominal, params.DefaultConfig(), nil); err == nil {
+		t.Error("Execute without Synthesize accepted")
+	}
+	if _, err := s.CheckBoundaries(s.Nominal, params.DefaultConfig(), nil); err == nil {
+		t.Error("CheckBoundaries without Synthesize accepted")
+	}
+}
+
+func TestExecuteNilDevice(t *testing.T) {
+	s := newSynth(t)
+	if _, err := s.Synthesize(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Execute(nil, params.DefaultConfig(), nil); err == nil {
+		t.Error("nil device accepted")
+	}
+}
+
+func TestFaultyDeviceFailsItsParameter(t *testing.T) {
+	s := newSynth(t)
+	if _, err := s.Synthesize(nil); err != nil {
+		t.Fatal(err)
+	}
+	// A mixer with collapsed IIP3 (soft fault) must fail the IIP3 test.
+	device, err := s.Spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	device.Mixer.IIP3DBm = s.Spec.Mixer.IIP3DBm.Nominal - 4
+	cfg := params.Config{N: 2048, Settle: 256}
+	outcomes, err := s.Execute(device, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if o.Test.Request.Param == params.MixerIIP3 {
+			if o.Pass {
+				t.Errorf("degraded IIP3 passed: %v", o.Result)
+			}
+		}
+	}
+}
+
+func TestCheckBoundariesNominalPasses(t *testing.T) {
+	s := newSynth(t)
+	if _, err := s.Synthesize(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg := params.Config{N: 2048, Settle: 256}
+	rng := rand.New(rand.NewSource(5))
+	res, err := s.CheckBoundaries(s.Nominal, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("boundary results = %d", len(res))
+	}
+	for i, ok := range res {
+		if !ok {
+			t.Errorf("nominal device failed boundary check %d", i)
+		}
+	}
+}
+
+func TestBoundaryCheckCatchesMaskedGainError(t *testing.T) {
+	// Figure 3: +gain error in the amp masked by -gain errors in the
+	// mixer and filter — composite path gain passes, but the
+	// high-amplitude boundary check fails on saturation.
+	s := newSynth(t)
+	if _, err := s.Synthesize(nil); err != nil {
+		t.Fatal(err)
+	}
+	device, err := s.Spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	device.Amp.GainDB += 4
+	device.Mixer.ConvGainDB -= 2
+	device.LPF.GainDB -= 2
+	cfg := params.Config{N: 2048, Settle: 256}
+	// Composite gain unchanged.
+	g, err := params.MeasurePathGain(device, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Plan.Tests[0].Request.Limit.Acceptable(g.Measured) {
+		t.Fatalf("composite gain should still pass: %v", g)
+	}
+	rng := rand.New(rand.NewSource(6))
+	res, err := s.CheckBoundaries(device, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] {
+		t.Error("high-amplitude boundary check missed the masked +4 dB amp error")
+	}
+}
+
+func TestBuildDigitalTestAndSmallCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate-level campaign skipped in -short")
+	}
+	s := newSynth(t)
+	opts := DefaultDigitalTestOptions()
+	opts.Patterns = 512 // keep the unit test quick
+	dt, err := s.BuildDigitalTest(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dt.FIR.Taps() != 13 {
+		t.Errorf("taps = %d", dt.FIR.Taps())
+	}
+	if len(dt.IdealCodes) != 512 || len(dt.RealisticCodes) != 512 {
+		t.Fatal("stimulus records wrong length")
+	}
+	if dt.Detector.FloorPower <= 0 {
+		t.Fatal("detector not calibrated")
+	}
+	exact, err := dt.RunExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectral, err := dt.RunSpectral()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Coverage() < 50 {
+		t.Errorf("exact coverage %.1f%% implausibly low", exact.Coverage())
+	}
+	if spectral.Coverage() > exact.Coverage()+1e-9 {
+		t.Errorf("spectral coverage %.1f%% should not exceed exact %.1f%%",
+			spectral.Coverage(), exact.Coverage())
+	}
+}
+
+func TestBuildDigitalTestValidation(t *testing.T) {
+	s := newSynth(t)
+	opts := DefaultDigitalTestOptions()
+	opts.Patterns = 0
+	if _, err := s.BuildDigitalTest(opts); err == nil {
+		t.Error("zero patterns accepted")
+	}
+	opts = DefaultDigitalTestOptions()
+	opts.CoeffFracBits = 0
+	if _, err := s.BuildDigitalTest(opts); err == nil {
+		t.Error("bad fracBits accepted")
+	}
+}
+
+func TestExecuteOnSampledDevices(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sampled-device sweep skipped in -short")
+	}
+	s := newSynth(t)
+	if _, err := s.Synthesize(nil); err != nil {
+		t.Fatal(err)
+	}
+	cfg := params.Config{N: 2048, Settle: 256}
+	rng := rand.New(rand.NewSource(7))
+	passAll := 0
+	n := 6
+	for i := 0; i < n; i++ {
+		device, err := s.Spec.Sample(rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes, err := s.Execute(device, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := true
+		for _, o := range outcomes {
+			if !o.Skipped && !o.Pass {
+				ok = false
+			}
+		}
+		if ok {
+			passAll++
+		}
+	}
+	// Typical process spread: most (not necessarily all) devices pass.
+	if passAll == 0 {
+		t.Error("every sampled device failed — losses implausibly high")
+	}
+}
+
+func TestSynthesizeCustomRequests(t *testing.T) {
+	s := newSynth(t)
+	reqs := []translate.Request{{
+		Param:  params.PathGain,
+		Target: "path",
+		Limit:  tolerance.BandLimit(19, 23),
+		Dist:   tolerance.Normal{Mean: 21, Sigma: 0.7},
+	}}
+	plan, err := s.Synthesize(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tests) != 1 {
+		t.Fatalf("tests = %d", len(plan.Tests))
+	}
+}

@@ -1,0 +1,252 @@
+package digital
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mstx/internal/netlist"
+)
+
+// evalBus builds a simulator, drives the input buses with the given
+// signed values (broadcast to all lanes), and decodes the output bus.
+func evalBus(t *testing.T, b *Builder, inputs []Bus, vals []int64, out Bus) int64 {
+	t.Helper()
+	b.MarkOutputBus(out, "t")
+	if err := b.C.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	sim := netlist.NewSimulator(b.C)
+	words := make([]uint64, len(b.C.Inputs))
+	pos := 0
+	for i, bus := range inputs {
+		enc := EncodeSigned(vals[i], bus.Width())
+		copy(words[pos:], enc)
+		pos += bus.Width()
+	}
+	res, err := sim.Run(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Output words correspond to all MarkOutput calls in order; take
+	// the last len(out).
+	return DecodeSignedLane(res[len(res)-len(out):], 0)
+}
+
+func TestFitsSigned(t *testing.T) {
+	cases := []struct {
+		v    int64
+		w    int
+		want bool
+	}{
+		{0, 1, true}, {1, 1, false}, {-1, 1, true},
+		{127, 8, true}, {128, 8, false}, {-128, 8, true}, {-129, 8, false},
+		{1 << 40, 64, true}, {5, 0, false},
+	}
+	for _, c := range cases {
+		if got := FitsSigned(c.v, c.w); got != c.want {
+			t.Errorf("FitsSigned(%d, %d) = %v, want %v", c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(v int64, lane uint8) bool {
+		l := int(lane % 64)
+		w := 16
+		v = Saturate(v, w)
+		words := EncodeSigned(v, w)
+		return DecodeSignedLane(words, l) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 50; trial++ {
+		b := NewBuilder()
+		x := b.InputBus("x", 10)
+		y := b.InputBus("y", 10)
+		sum := b.AddExpand(x, y)
+		xv := int64(rng.Intn(1024) - 512)
+		yv := int64(rng.Intn(1024) - 512)
+		xv, yv = Saturate(xv, 10), Saturate(yv, 10)
+		got := evalBus(t, b, []Bus{x, y}, []int64{xv, yv}, sum)
+		if got != xv+yv {
+			t.Fatalf("Add(%d,%d) = %d", xv, yv, got)
+		}
+	}
+}
+
+func TestNegate(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 127, -128, 42, -42} {
+		b := NewBuilder()
+		x := b.InputBus("x", 8)
+		n := b.Negate(x)
+		got := evalBus(t, b, []Bus{x}, []int64{v}, n)
+		if got != -v {
+			t.Fatalf("Negate(%d) = %d", v, got)
+		}
+	}
+}
+
+func TestMulConst(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, k := range []int64{0, 1, -1, 2, 3, -3, 5, 7, -7, 100, 255, -255, 1023} {
+		b := NewBuilder()
+		x := b.InputBus("x", 9)
+		p := b.MulConst(x, k)
+		v := int64(rng.Intn(512) - 256)
+		got := evalBus(t, b, []Bus{x}, []int64{v}, p)
+		if got != k*v {
+			t.Fatalf("MulConst(%d)·%d = %d, want %d", k, v, got, k*v)
+		}
+	}
+}
+
+func TestMulConstProperty(t *testing.T) {
+	f := func(kv int16, vv int8) bool {
+		k := int64(kv)
+		v := int64(vv)
+		b := NewBuilder()
+		x := b.InputBus("x", 8)
+		p := b.MulConst(x, k)
+		b.MarkOutputBus(p, "p")
+		sim := netlist.NewSimulator(b.C)
+		res, err := sim.Run(EncodeSigned(v, 8))
+		if err != nil {
+			return false
+		}
+		return DecodeSignedLane(res, 0) == k*v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumTree(t *testing.T) {
+	b := NewBuilder()
+	var buses []Bus
+	vals := []int64{5, -3, 100, -120, 7}
+	for range vals {
+		buses = append(buses, b.InputBus("x", 8))
+	}
+	sum := b.SumTree(buses)
+	got := evalBus(t, b, buses, vals, sum)
+	want := int64(0)
+	for _, v := range vals {
+		want += v
+	}
+	if got != want {
+		t.Fatalf("SumTree = %d, want %d", got, want)
+	}
+}
+
+func TestShiftLeft(t *testing.T) {
+	b := NewBuilder()
+	x := b.InputBus("x", 6)
+	s := b.ShiftLeft(x, 3)
+	got := evalBus(t, b, []Bus{x}, []int64{-5}, s)
+	if got != -40 {
+		t.Fatalf("ShiftLeft(-5,3) = %d, want -40", got)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	b := NewBuilder()
+	x := b.InputBus("x", 8)
+	tr := b.Truncate(x, 4)
+	// 0b0101_0110 (86) truncated to 4 bits -> 0b0110 = 6.
+	got := evalBus(t, b, []Bus{x}, []int64{86}, tr)
+	if got != 6 {
+		t.Fatalf("Truncate = %d, want 6", got)
+	}
+}
+
+func TestConstBus(t *testing.T) {
+	b := NewBuilder()
+	cb := b.ConstBus(-7, 5)
+	got := evalBusNoInput(t, b, cb)
+	if got != -7 {
+		t.Fatalf("ConstBus(-7) = %d", got)
+	}
+}
+
+func evalBusNoInput(t *testing.T, b *Builder, out Bus) int64 {
+	t.Helper()
+	b.MarkOutputBus(out, "t")
+	if err := b.C.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim := netlist.NewSimulator(b.C)
+	res, err := sim.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return DecodeSignedLane(res[len(res)-len(out):], 0)
+}
+
+func TestBuilderPanics(t *testing.T) {
+	checks := map[string]func(){
+		"input-width-0":  func() { NewBuilder().InputBus("x", 0) },
+		"const-overflow": func() { NewBuilder().ConstBus(128, 8) },
+		"signextend-narrow": func() {
+			b := NewBuilder()
+			b.SignExtend(b.InputBus("x", 8), 4)
+		},
+		"signextend-empty": func() { NewBuilder().SignExtend(Bus{}, 4) },
+		"shift-negative": func() {
+			b := NewBuilder()
+			b.ShiftLeft(b.InputBus("x", 4), -1)
+		},
+		"add-mismatch": func() {
+			b := NewBuilder()
+			b.Add(b.InputBus("x", 4), b.InputBus("y", 5))
+		},
+		"add-empty":    func() { NewBuilder().Add(Bus{}, Bus{}) },
+		"sumtree-none": func() { NewBuilder().SumTree(nil) },
+		"truncate-bad": func() {
+			b := NewBuilder()
+			b.Truncate(b.InputBus("x", 4), 9)
+		},
+	}
+	for name, f := range checks {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSharedConstants(t *testing.T) {
+	b := NewBuilder()
+	z1, z2 := b.Zero(), b.Zero()
+	o1, o2 := b.One(), b.One()
+	if z1 != z2 || o1 != o2 {
+		t.Error("constant nets not shared")
+	}
+	if z1 == o1 {
+		t.Error("zero and one share a net")
+	}
+}
+
+func TestSaturate(t *testing.T) {
+	cases := []struct {
+		v    int64
+		w    int
+		want int64
+	}{
+		{200, 8, 127}, {-200, 8, -128}, {100, 8, 100}, {-128, 8, -128}, {127, 8, 127},
+	}
+	for _, c := range cases {
+		if got := Saturate(c.v, c.w); got != c.want {
+			t.Errorf("Saturate(%d,%d) = %d, want %d", c.v, c.w, got, c.want)
+		}
+	}
+}

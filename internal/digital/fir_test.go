@@ -1,0 +1,354 @@
+package digital
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mstx/internal/dsp"
+	"mstx/internal/netlist"
+)
+
+func TestNewFIRValidation(t *testing.T) {
+	if _, err := NewFIR(nil, 8); err == nil {
+		t.Error("empty coefficients accepted")
+	}
+	if _, err := NewFIR([]int64{1}, 1); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := NewFIR([]int64{1}, 40); err == nil {
+		t.Error("width 40 accepted")
+	}
+}
+
+func TestFIRMatchesReference(t *testing.T) {
+	coeffs := []int64{3, -5, 7, 11, -2}
+	fir, err := NewFIR(coeffs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(30))
+	xs := make([]int64, 100)
+	for i := range xs {
+		xs[i] = int64(rng.Intn(256) - 128)
+	}
+	sim := NewFIRSim(fir)
+	got, err := sim.Run(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fir.Reference(xs)
+	for i := range xs {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: gate-level %d != reference %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIRGateLevelEqualsReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		taps := 1 + rng.Intn(6)
+		coeffs := make([]int64, taps)
+		for i := range coeffs {
+			coeffs[i] = int64(rng.Intn(31) - 15)
+		}
+		fir, err := NewFIR(coeffs, 6)
+		if err != nil {
+			return false
+		}
+		sim := NewFIRSim(fir)
+		xs := make([]int64, 30)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(64) - 32)
+		}
+		got, err := sim.Run(xs)
+		if err != nil {
+			return false
+		}
+		want := fir.Reference(xs)
+		for i := range xs {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIRZeroCoefficient(t *testing.T) {
+	fir, err := NewFIR([]int64{0, 5, 0}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewFIRSim(fir)
+	got, err := sim.Run([]int64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fir.Reference([]int64{10, 20, 30})
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIRInputSaturation(t *testing.T) {
+	fir, err := NewFIR([]int64{1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewFIRSim(fir)
+	y, err := sim.StepValue(1000) // saturates to 127
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != 127 {
+		t.Fatalf("saturated output = %d, want 127", y)
+	}
+}
+
+func TestFIRReset(t *testing.T) {
+	fir, err := NewFIR([]int64{1, 1, 1}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewFIRSim(fir)
+	if _, err := sim.Run([]int64{100, 100, 100}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Reset()
+	y, err := sim.StepValue(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != 0 {
+		t.Fatalf("output after Reset = %d, want 0", y)
+	}
+}
+
+func TestFIRFaultPerturbsOnlyItsLane(t *testing.T) {
+	coeffs := []int64{2, -3, 4}
+	fir, err := NewFIR(coeffs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := NewFIRSim(fir)
+	// Stuck-at-1 on the LSB of the output in lane 5.
+	if err := sim.InjectFault(netlist.Fault{Net: fir.OutBus[0], Stuck: netlist.StuckAt1}, 1<<5); err != nil {
+		t.Fatal(err)
+	}
+	xs := []int64{8, -4, 2, 6, -6}
+	lanes, err := sim.RunLanes(xs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := fir.Reference(xs)
+	for i := range xs {
+		if lanes[0][i] != ref[i] {
+			t.Fatalf("good lane wrong at %d", i)
+		}
+		if lanes[5][i] != ref[i]|1 {
+			t.Fatalf("fault lane %d: got %d, want %d", i, lanes[5][i], ref[i]|1)
+		}
+		if lanes[3][i] != ref[i] {
+			t.Fatalf("unrelated lane perturbed at %d", i)
+		}
+	}
+}
+
+func TestFIRRunLanesValidation(t *testing.T) {
+	fir, _ := NewFIR([]int64{1}, 4)
+	sim := NewFIRSim(fir)
+	if _, err := sim.RunLanes([]int64{1}, 0); err == nil {
+		t.Error("lanes=0 accepted")
+	}
+	if _, err := sim.RunLanes([]int64{1}, 65); err == nil {
+		t.Error("lanes=65 accepted")
+	}
+}
+
+func TestTapOfNet(t *testing.T) {
+	fir, err := NewFIR([]int64{1, 2, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, bus := range fir.TapBuses {
+		if got := fir.TapOfNet(bus[0]); got != i {
+			t.Errorf("TapOfNet(tap %d input) = %d", i, got)
+		}
+	}
+	// The final output bus sign bit lives in the shared sum tree.
+	if got := fir.TapOfNet(fir.OutBus[len(fir.OutBus)-1]); got != -1 {
+		t.Errorf("sum-tree net attributed to tap %d", got)
+	}
+}
+
+func TestClearFaultsOnFIRSim(t *testing.T) {
+	fir, _ := NewFIR([]int64{1}, 4)
+	sim := NewFIRSim(fir)
+	if err := sim.InjectFault(netlist.Fault{Net: fir.OutBus[0], Stuck: netlist.StuckAt1}, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	sim.ClearFaults()
+	sim.Reset()
+	y, err := sim.StepValue(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != 0 {
+		t.Fatalf("fault survived ClearFaults: %d", y)
+	}
+}
+
+func TestDesignLowPassFIR(t *testing.T) {
+	h, err := DesignLowPassFIR(31, 0.2, dsp.Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 31 {
+		t.Fatalf("len = %d", len(h))
+	}
+	// Unity DC gain.
+	if g := FrequencyResponseMag(h, 0); math.Abs(g-1) > 1e-12 {
+		t.Errorf("DC gain = %g", g)
+	}
+	// Passband (0.1·fs) near unity, stopband (0.35·fs) well attenuated.
+	if g := FrequencyResponseMag(h, 0.1); math.Abs(g-1) > 0.05 {
+		t.Errorf("passband gain = %g", g)
+	}
+	if g := FrequencyResponseMag(h, 0.35); g > 0.01 {
+		t.Errorf("stopband gain = %g, want < 0.01", g)
+	}
+	// Linear phase -> symmetric taps.
+	for i := 0; i < len(h)/2; i++ {
+		if math.Abs(h[i]-h[len(h)-1-i]) > 1e-12 {
+			t.Errorf("asymmetric taps at %d", i)
+		}
+	}
+}
+
+func TestDesignLowPassFIRValidation(t *testing.T) {
+	if _, err := DesignLowPassFIR(0, 0.2, dsp.Hamming); err == nil {
+		t.Error("0 taps accepted")
+	}
+	if _, err := DesignLowPassFIR(5, 0, dsp.Hamming); err == nil {
+		t.Error("cutoff 0 accepted")
+	}
+	if _, err := DesignLowPassFIR(5, 0.5, dsp.Hamming); err == nil {
+		t.Error("cutoff 0.5 accepted")
+	}
+}
+
+func TestQuantizeCoeffs(t *testing.T) {
+	ints, scale, err := QuantizeCoeffs([]float64{0.5, -0.25, 0.125}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale != 256 {
+		t.Errorf("scale = %g", scale)
+	}
+	want := []int64{128, -64, 32}
+	for i := range want {
+		if ints[i] != want[i] {
+			t.Errorf("ints[%d] = %d, want %d", i, ints[i], want[i])
+		}
+	}
+	if _, _, err := QuantizeCoeffs([]float64{1}, 0); err == nil {
+		t.Error("fracBits 0 accepted")
+	}
+	if _, _, err := QuantizeCoeffs([]float64{1e-9}, 8); err == nil {
+		t.Error("all-zero quantization accepted")
+	}
+}
+
+func TestFilterFloatMatchesIntReference(t *testing.T) {
+	coeffs := []float64{1, 2, -1}
+	xs := []float64{1, 0, 0, 2, -1}
+	got := FilterFloat(coeffs, xs)
+	want := []float64{1, 2, -1, 2, 3}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("FilterFloat[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestQuantizeDequantizeRecord(t *testing.T) {
+	xs := []float64{0, 0.5, -0.5, 0.999, -1, 2, -2}
+	q := QuantizeRecord(xs, 8)
+	if q[0] != 0 || q[1] != 64 || q[2] != -64 {
+		t.Fatalf("quantized: %v", q)
+	}
+	if q[5] != 127 || q[6] != -128 {
+		t.Fatalf("saturation: %v", q)
+	}
+	d := DequantizeRecord(q, 8)
+	for i := 0; i < 3; i++ {
+		if math.Abs(d[i]-xs[i]) > 1.0/128 {
+			t.Errorf("round trip %d: %g vs %g", i, d[i], xs[i])
+		}
+	}
+}
+
+func TestPaper13TapFilterBuilds(t *testing.T) {
+	h, err := DesignLowPassFIR(13, 0.15, dsp.Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ints, _, err := QuantizeCoeffs(h, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fir, err := NewFIR(ints, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fir.Circuit.Stats()
+	if st.Gates < 500 {
+		t.Errorf("13-tap filter suspiciously small: %v", st)
+	}
+	// Gate level must still match the reference on a sine record.
+	sim := NewFIRSim(fir)
+	xs := make([]int64, 64)
+	for i := range xs {
+		xs[i] = int64(math.Round(400 * math.Sin(2*math.Pi*float64(i)/16)))
+	}
+	got, err := sim.Run(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fir.Reference(xs)
+	for i := range xs {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkFIRSimStep13Tap(b *testing.B) {
+	h, err := DesignLowPassFIR(13, 0.15, dsp.Hamming)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ints, _, err := QuantizeCoeffs(h, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fir, err := NewFIR(ints, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim := NewFIRSim(fir)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Step(int64(i % 512)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

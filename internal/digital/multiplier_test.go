@@ -1,0 +1,175 @@
+package digital
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mstx/internal/netlist"
+)
+
+func TestCSDDigitsProperties(t *testing.T) {
+	f := func(k int32) bool {
+		digits := CSDDigits(int64(k))
+		// Value round trip.
+		var v int64
+		for i := len(digits) - 1; i >= 0; i-- {
+			v = v*2 + int64(digits[i])
+		}
+		// Recompute: digits are LSB-first.
+		v = 0
+		for i, d := range digits {
+			v += int64(d) << uint(i)
+		}
+		if v != int64(k) {
+			return false
+		}
+		// No two adjacent nonzero digits.
+		for i := 1; i < len(digits); i++ {
+			if digits[i] != 0 && digits[i-1] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSDSparserThanBinary(t *testing.T) {
+	// For dense constants like 0b0111_0111, CSD uses fewer nonzero
+	// digits than binary.
+	k := int64(0x77)
+	binOnes := 0
+	for v := k; v != 0; v >>= 1 {
+		if v&1 == 1 {
+			binOnes++
+		}
+	}
+	csdOnes := 0
+	for _, d := range CSDDigits(k) {
+		if d != 0 {
+			csdOnes++
+		}
+	}
+	if csdOnes >= binOnes {
+		t.Fatalf("CSD %d nonzero vs binary %d for 0x77", csdOnes, binOnes)
+	}
+}
+
+func TestSubExpand(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		b := NewBuilder()
+		x := b.InputBus("x", 9)
+		y := b.InputBus("y", 9)
+		d := b.SubExpand(x, y)
+		xv := int64(rng.Intn(512) - 256)
+		yv := int64(rng.Intn(512) - 256)
+		got := evalBus(t, b, []Bus{x, y}, []int64{xv, yv}, d)
+		if got != xv-yv {
+			t.Fatalf("Sub(%d,%d) = %d", xv, yv, got)
+		}
+	}
+}
+
+func TestMulConstCSDEqualsMulConst(t *testing.T) {
+	f := func(kv int16, vv int8) bool {
+		k := int64(kv)
+		v := int64(vv)
+		b := NewBuilder()
+		x := b.InputBus("x", 8)
+		p := b.MulConstCSD(x, k)
+		b.MarkOutputBus(p, "p")
+		sim := netlist.NewSimulator(b.C)
+		res, err := sim.Run(EncodeSigned(v, 8))
+		if err != nil {
+			return false
+		}
+		return DecodeSignedLane(res, 0) == k*v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulConstCSDFewerGatesForDenseConstants(t *testing.T) {
+	build := func(mul func(b *Builder, x Bus) Bus) int {
+		b := NewBuilder()
+		x := b.InputBus("x", 12)
+		p := mul(b, x)
+		b.MarkOutputBus(p, "p")
+		return b.C.NumGates()
+	}
+	k := int64(0x6FF) // dense bit pattern
+	bin := build(func(b *Builder, x Bus) Bus { return b.MulConst(x, k) })
+	csd := build(func(b *Builder, x Bus) Bus { return b.MulConstCSD(x, k) })
+	if csd >= bin {
+		t.Fatalf("CSD %d gates vs binary %d for dense constant", csd, bin)
+	}
+}
+
+func TestMulVar(t *testing.T) {
+	b := NewBuilder()
+	x := b.InputBus("x", 6)
+	y := b.InputBus("y", 6)
+	p := b.MulVar(x, y)
+	b.MarkOutputBus(p, "p")
+	if err := b.C.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim := netlist.NewSimulator(b.C)
+	for _, tc := range [][2]int64{{0, 0}, {1, 1}, {-1, 1}, {-1, -1}, {31, -32}, {-32, -32}, {17, 13}, {-25, 20}} {
+		words := append(EncodeSigned(tc[0], 6), EncodeSigned(tc[1], 6)...)
+		res, err := sim.Run(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := DecodeSignedLane(res, 0)
+		if got != tc[0]*tc[1] {
+			t.Fatalf("MulVar(%d,%d) = %d", tc[0], tc[1], got)
+		}
+	}
+}
+
+func TestMulVarProperty(t *testing.T) {
+	b := NewBuilder()
+	x := b.InputBus("x", 7)
+	y := b.InputBus("y", 7)
+	p := b.MulVar(x, y)
+	b.MarkOutputBus(p, "p")
+	sim := netlist.NewSimulator(b.C)
+	f := func(a, c int8) bool {
+		av, cv := int64(a)/2, int64(c)/2 // fit 7 bits
+		words := append(EncodeSigned(av, 7), EncodeSigned(cv, 7)...)
+		res, err := sim.Run(words)
+		if err != nil {
+			return false
+		}
+		return DecodeSignedLane(res, 0) == av*cv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVarPanics(t *testing.T) {
+	b := NewBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty bus")
+		}
+	}()
+	b.MulVar(Bus{}, b.InputBus("y", 4))
+}
+
+func TestMulConstCSDZero(t *testing.T) {
+	b := NewBuilder()
+	x := b.InputBus("x", 4)
+	p := b.MulConstCSD(x, 0)
+	got := evalBus(t, b, []Bus{x}, []int64{5}, p)
+	if got != 0 {
+		t.Fatalf("CSD×0 = %d", got)
+	}
+}

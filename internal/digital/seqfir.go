@@ -1,0 +1,132 @@
+package digital
+
+import (
+	"fmt"
+
+	"mstx/internal/netlist"
+)
+
+// SeqFIR is the fully-sequential realization of the gate-level FIR:
+// the delay line is built from in-netlist D flip-flops, so register
+// faults are first-class fault sites simulated by the sequential
+// engine. Fault-free, it is cycle-exact to the combinational FIR. For
+// register faults the combinational wrapper's input-net approximation
+// is exact only for the last delay stage: a stuck mid-line register
+// also corrupts the value the next register captures (shift-through),
+// which only the sequential model reproduces.
+type SeqFIR struct {
+	// Coeffs, InWidth, DropLSBs mirror FIR.
+	Coeffs   []int64
+	InWidth  int
+	DropLSBs int
+	// Circuit is the sequential netlist.
+	Circuit *netlist.Circuit
+	// InBus is the single sample input bus x[n].
+	InBus Bus
+	// DelayBuses[i] holds the flip-flop outputs carrying x[n−1−i].
+	DelayBuses []Bus
+	// OutBus is the (possibly truncated) output bus.
+	OutBus Bus
+}
+
+// NewSeqFIR builds the sequential filter.
+func NewSeqFIR(coeffs []int64, inWidth, dropLSBs int) (*SeqFIR, error) {
+	if len(coeffs) == 0 {
+		return nil, fmt.Errorf("digital: FIR needs at least one coefficient")
+	}
+	if inWidth < 2 || inWidth > 32 {
+		return nil, fmt.Errorf("digital: FIR input width %d out of range [2,32]", inWidth)
+	}
+	if dropLSBs < 0 {
+		return nil, fmt.Errorf("digital: negative dropLSBs")
+	}
+	b := NewBuilder()
+	f := &SeqFIR{
+		Coeffs:   append([]int64(nil), coeffs...),
+		InWidth:  inWidth,
+		DropLSBs: dropLSBs,
+	}
+	f.InBus = b.InputBus("x", inWidth)
+	// Delay line: taps-1 registered word stages.
+	prev := f.InBus
+	for d := 1; d < len(coeffs); d++ {
+		stage := make(Bus, inWidth)
+		for bit := 0; bit < inWidth; bit++ {
+			q := b.C.DFF()
+			b.C.SetName(q, fmt.Sprintf("d%d[%d]", d, bit))
+			stage[bit] = q
+		}
+		f.DelayBuses = append(f.DelayBuses, stage)
+		// Bind each register to the previous stage (done after use is
+		// fine; SetD accepts already-allocated nets).
+		for bit := 0; bit < inWidth; bit++ {
+			if err := b.C.SetD(stage[bit], prev[bit]); err != nil {
+				return nil, err
+			}
+		}
+		prev = stage
+	}
+	// Products: tap 0 uses the live input, tap i>0 its delay stage.
+	var products []Bus
+	for i, c := range coeffs {
+		src := f.InBus
+		if i > 0 {
+			src = f.DelayBuses[i-1]
+		}
+		products = append(products, b.MulConst(src, c))
+	}
+	sum := b.SumTree(products)
+	if dropLSBs >= len(sum) {
+		return nil, fmt.Errorf("digital: dropLSBs %d >= sum width %d", dropLSBs, len(sum))
+	}
+	sum = sum[dropLSBs:]
+	b.MarkOutputBus(sum, "y")
+	f.OutBus = sum
+	f.Circuit = b.C
+	if err := f.Circuit.Validate(); err != nil {
+		return nil, fmt.Errorf("digital: built sequential FIR fails validation: %w", err)
+	}
+	return f, nil
+}
+
+// SeqFIRSim clocks a sequential FIR sample by sample.
+type SeqFIRSim struct {
+	fir *SeqFIR
+	sim *netlist.SequentialSimulator
+}
+
+// NewSeqFIRSim returns a simulator with cleared registers.
+func NewSeqFIRSim(f *SeqFIR) (*SeqFIRSim, error) {
+	sim, err := netlist.NewSequentialSimulator(f.Circuit)
+	if err != nil {
+		return nil, err
+	}
+	return &SeqFIRSim{fir: f, sim: sim}, nil
+}
+
+// Reset clears the delay registers.
+func (s *SeqFIRSim) Reset() { s.sim.Reset() }
+
+// InjectFault injects a stuck-at fault (register outputs included).
+func (s *SeqFIRSim) InjectFault(f netlist.Fault, laneMask uint64) error {
+	return s.sim.InjectFault(f, laneMask)
+}
+
+// Step clocks one sample through and returns the per-lane output
+// words.
+func (s *SeqFIRSim) Step(x int64) ([]uint64, error) {
+	return s.sim.Step(EncodeSigned(Saturate(x, s.fir.InWidth), s.fir.InWidth))
+}
+
+// Run processes a record and returns the lane-0 outputs.
+func (s *SeqFIRSim) Run(xs []int64) ([]int64, error) {
+	out := make([]int64, len(xs))
+	for i, x := range xs {
+		words, err := s.Step(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = DecodeSignedLane(words, 0)
+	}
+	return out, nil
+}

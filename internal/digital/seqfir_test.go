@@ -1,0 +1,232 @@
+package digital
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mstx/internal/netlist"
+)
+
+func TestNewSeqFIRValidation(t *testing.T) {
+	if _, err := NewSeqFIR(nil, 8, 0); err == nil {
+		t.Error("empty coefficients accepted")
+	}
+	if _, err := NewSeqFIR([]int64{1}, 1, 0); err == nil {
+		t.Error("width 1 accepted")
+	}
+	if _, err := NewSeqFIR([]int64{1}, 8, -1); err == nil {
+		t.Error("negative drop accepted")
+	}
+	if _, err := NewSeqFIR([]int64{1}, 8, 99); err == nil {
+		t.Error("huge drop accepted")
+	}
+}
+
+func TestSeqFIRMatchesCombinational(t *testing.T) {
+	coeffs := []int64{3, -5, 7, 11, -2}
+	seq, err := NewSeqFIR(coeffs, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := NewFIR(coeffs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(40))
+	xs := make([]int64, 80)
+	for i := range xs {
+		xs[i] = int64(rng.Intn(256) - 128)
+	}
+	ssim, err := NewSeqFIRSim(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sGot, err := ssim.Run(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cGot, err := NewFIRSim(comb).Run(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := comb.Reference(xs)
+	for i := range xs {
+		if sGot[i] != cGot[i] || sGot[i] != ref[i] {
+			t.Fatalf("sample %d: seq %d comb %d ref %d", i, sGot[i], cGot[i], ref[i])
+		}
+	}
+	if seq.Circuit.NumFFs() != (len(coeffs)-1)*8 {
+		t.Errorf("FF count = %d", seq.Circuit.NumFFs())
+	}
+}
+
+func TestSeqFIRMatchesCombinationalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		taps := 1 + rng.Intn(4)
+		coeffs := make([]int64, taps)
+		for i := range coeffs {
+			coeffs[i] = int64(rng.Intn(15) - 7)
+		}
+		// Guarantee a nonzero coefficient so the sum bus is wide
+		// enough for any drop value below.
+		coeffs[0] = coeffs[0]*2 + 1
+		drop := rng.Intn(3)
+		seq, err := NewSeqFIR(coeffs, 6, drop)
+		if err != nil {
+			return false
+		}
+		comb, err := NewFIRTruncated(coeffs, 6, drop)
+		if err != nil {
+			return false
+		}
+		xs := make([]int64, 24)
+		for i := range xs {
+			xs[i] = int64(rng.Intn(64) - 32)
+		}
+		ssim, err := NewSeqFIRSim(seq)
+		if err != nil {
+			return false
+		}
+		sGot, err := ssim.Run(xs)
+		if err != nil {
+			return false
+		}
+		cGot, err := NewFIRSim(comb).Run(xs)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if sGot[i] != cGot[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqFIRRegisterFaultEquivalence(t *testing.T) {
+	// A stuck-at on the LAST delay register equals a stuck-at on the
+	// corresponding combinational tap-input net (no downstream register
+	// consumes it). Earlier registers differ — see the shift-through
+	// test below.
+	coeffs := []int64{2, -3, 4}
+	seq, err := NewSeqFIR(coeffs, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := NewFIR(coeffs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	xs := make([]int64, 40)
+	for i := range xs {
+		xs[i] = int64(rng.Intn(64) - 32)
+	}
+	for tap := len(coeffs) - 1; tap < len(coeffs); tap++ {
+		for bit := 0; bit < 6; bit += 2 {
+			for _, stuck := range []netlist.StuckValue{netlist.StuckAt0, netlist.StuckAt1} {
+				ssim, err := NewSeqFIRSim(seq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ssim.InjectFault(netlist.Fault{
+					Net: seq.DelayBuses[tap-1][bit], Stuck: stuck,
+				}, ^uint64(0)); err != nil {
+					t.Fatal(err)
+				}
+				sGot, err := ssim.Run(xs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				csim := NewFIRSim(comb)
+				if err := csim.InjectFault(netlist.Fault{
+					Net: comb.TapBuses[tap][bit], Stuck: stuck,
+				}, ^uint64(0)); err != nil {
+					t.Fatal(err)
+				}
+				cGot, err := csim.Run(xs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range xs {
+					if sGot[i] != cGot[i] {
+						t.Fatalf("tap %d bit %d %v: sample %d seq %d comb %d",
+							tap, bit, stuck, i, sGot[i], cGot[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSeqFIRShiftThroughCorruption(t *testing.T) {
+	// A stuck register output also corrupts what the NEXT register
+	// captures — physics the combinational input-fault approximation
+	// misses. The two models must differ for a mid-line register.
+	coeffs := []int64{2, -3, 4}
+	seq, err := NewSeqFIR(coeffs, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, err := NewFIR(coeffs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []int64{20, -20, 20, -20, 20, -20, 20, -20}
+	ssim, err := NewSeqFIRSim(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ssim.InjectFault(netlist.Fault{Net: seq.DelayBuses[0][0], Stuck: netlist.StuckAt1}, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	sGot, err := ssim.Run(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csim := NewFIRSim(comb)
+	if err := csim.InjectFault(netlist.Fault{Net: comb.TapBuses[1][0], Stuck: netlist.StuckAt1}, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	cGot, err := csim.Run(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for i := range xs {
+		if sGot[i] != cGot[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("mid-line register fault should shift corruption downstream")
+	}
+}
+
+func TestSeqFIRReset(t *testing.T) {
+	seq, err := NewSeqFIR([]int64{1, 1}, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSeqFIRSim(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Run([]int64{20, 20}); err != nil {
+		t.Fatal(err)
+	}
+	sim.Reset()
+	words, err := sim.Step(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DecodeSignedLane(words, 0) != 0 {
+		t.Fatal("registers survived Reset")
+	}
+}

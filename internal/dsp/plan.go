@@ -1,0 +1,93 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// Plan caches the bit-reversal permutation and twiddle factors for a
+// fixed power-of-two FFT length. A Plan is immutable after creation
+// and safe for concurrent use; Transform allocates nothing.
+type Plan struct {
+	n   int
+	rev []int32
+	// tw holds per-stage twiddle tables back to back: stage s (size
+	// 2^(s+1)) occupies tw[2^s-1 : 2^(s+1)-1].
+	tw []complex128
+}
+
+// NewPlan builds a plan for length n (a power of two).
+func NewPlan(n int) (*Plan, error) {
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("dsp: plan length %d is not a power of two", n)
+	}
+	p := &Plan{n: n}
+	p.rev = make([]int32, n)
+	if n > 1 {
+		shift := 64 - uint(bits.Len(uint(n-1)))
+		for i := range p.rev {
+			p.rev[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+		}
+	}
+	p.tw = make([]complex128, n-1)
+	idx := 0
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		for k := 0; k < half; k++ {
+			ang := step * float64(k)
+			p.tw[idx] = complex(math.Cos(ang), math.Sin(ang))
+			idx++
+		}
+	}
+	return p, nil
+}
+
+// Len returns the plan's transform length.
+func (p *Plan) Len() int { return p.n }
+
+// Transform computes the in-place forward FFT of x using the cached
+// tables. len(x) must equal the plan length.
+func (p *Plan) Transform(x []complex128) error {
+	if len(x) != p.n {
+		return fmt.Errorf("dsp: plan length %d, input %d", p.n, len(x))
+	}
+	for i, j := range p.rev {
+		if int(j) > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	idx := 0
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size >> 1
+		tw := p.tw[idx : idx+half]
+		idx += half
+		for start := 0; start < p.n; start += size {
+			for k := 0; k < half; k++ {
+				even := x[start+k]
+				odd := x[start+k+half] * tw[k]
+				x[start+k] = even + odd
+				x[start+k+half] = even - odd
+			}
+		}
+	}
+	return nil
+}
+
+// planCache shares plans between callers; plans are immutable.
+var planCache sync.Map // int -> *Plan
+
+// cachedPlan returns the shared plan for length n.
+func cachedPlan(n int) (*Plan, error) {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan), nil
+	}
+	p, err := NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := planCache.LoadOrStore(n, p)
+	return actual.(*Plan), nil
+}

@@ -1,0 +1,200 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// SineFitResult is an IEEE-1057-style sine-wave fit: the record is
+// modelled as Amplitude·cos(2π·Frequency·t + Phase) + Offset.
+type SineFitResult struct {
+	// Amplitude is the fitted sine amplitude (>= 0).
+	Amplitude float64
+	// Phase is the fitted phase in radians.
+	Phase float64
+	// Offset is the fitted DC level.
+	Offset float64
+	// Frequency is the fitted (or given) frequency in Hz.
+	Frequency float64
+	// RMSResidual is the RMS of the fit residual — the record's total
+	// noise-plus-distortion under the sine model.
+	RMSResidual float64
+}
+
+// SineFit3 performs the three-parameter (known-frequency) sine fit of
+// IEEE Std 1057: a closed-form least-squares solve for the in-phase,
+// quadrature and DC components.
+func SineFit3(x []float64, sampleRate, freq float64) (SineFitResult, error) {
+	if len(x) < 4 {
+		return SineFitResult{}, fmt.Errorf("dsp: sine fit needs at least 4 samples")
+	}
+	if sampleRate <= 0 || freq <= 0 {
+		return SineFitResult{}, fmt.Errorf("dsp: sine fit needs positive rates")
+	}
+	w := 2 * math.Pi * freq / sampleRate
+	// Normal equations for [a·cos + b·sin + c].
+	var scc, sss, scs, sc, ss float64
+	var sxc, sxs, sx float64
+	for i, v := range x {
+		cth := math.Cos(w * float64(i))
+		sth := math.Sin(w * float64(i))
+		scc += cth * cth
+		sss += sth * sth
+		scs += cth * sth
+		sc += cth
+		ss += sth
+		sxc += v * cth
+		sxs += v * sth
+		sx += v
+	}
+	m := [][]float64{
+		{scc, scs, sc, sxc},
+		{scs, sss, ss, sxs},
+		{sc, ss, float64(len(x)), sx},
+	}
+	sol, err := solveLinear(m)
+	if err != nil {
+		return SineFitResult{}, err
+	}
+	return finishFit(x, sampleRate, freq, sol[0], sol[1], sol[2]), nil
+}
+
+// SineFit4 performs the four-parameter fit: frequency is refined by
+// Gauss-Newton iterations starting from freqGuess, re-solving the
+// linearized system each round (IEEE Std 1057 §4.1.4.3).
+func SineFit4(x []float64, sampleRate, freqGuess float64, iters int) (SineFitResult, error) {
+	if iters <= 0 {
+		iters = 8
+	}
+	res, err := SineFit3(x, sampleRate, freqGuess)
+	if err != nil {
+		return SineFitResult{}, err
+	}
+	// Gauss-Newton only converges from within about one FFT bin of
+	// the true frequency. If the initial fit explains little of the
+	// record's energy, re-seed from the interpolated spectrum peak.
+	if res.RMSResidual > 0.7*RMS(x) {
+		if f0, ok := peakFrequency(x, sampleRate); ok {
+			if r2, err := SineFit3(x, sampleRate, f0); err == nil && r2.RMSResidual < res.RMSResidual {
+				res = r2
+				freqGuess = f0
+			}
+		}
+	}
+	w := 2 * math.Pi * freqGuess / sampleRate
+	a := res.Amplitude * math.Cos(res.Phase)
+	b := -res.Amplitude * math.Sin(res.Phase)
+	c := res.Offset
+	for it := 0; it < iters; it++ {
+		// Design matrix columns: cos, sin, 1, t·(-a·sin + b·cos).
+		var m [4][5]float64
+		for i, v := range x {
+			ti := float64(i)
+			cth := math.Cos(w * ti)
+			sth := math.Sin(w * ti)
+			cols := [4]float64{cth, sth, 1, ti * (-a*sth + b*cth)}
+			for r := 0; r < 4; r++ {
+				for q := 0; q < 4; q++ {
+					m[r][q] += cols[r] * cols[q]
+				}
+				m[r][4] += cols[r] * v
+			}
+		}
+		rows := make([][]float64, 4)
+		for r := range rows {
+			rows[r] = m[r][:]
+		}
+		sol, err := solveLinear(rows)
+		if err != nil {
+			return SineFitResult{}, err
+		}
+		a, b, c = sol[0], sol[1], sol[2]
+		w += sol[3]
+		if w <= 0 {
+			return SineFitResult{}, fmt.Errorf("dsp: sine fit diverged to non-positive frequency")
+		}
+		if math.Abs(sol[3]) < 1e-14*w {
+			break
+		}
+	}
+	freq := w * sampleRate / (2 * math.Pi)
+	return finishFit(x, sampleRate, freq, a, b, c), nil
+}
+
+// peakFrequency estimates the dominant tone frequency by parabolic
+// interpolation of the windowed spectrum peak.
+func peakFrequency(x []float64, sampleRate float64) (float64, bool) {
+	s, err := PowerSpectrum(x, sampleRate, Hann)
+	if err != nil {
+		return 0, false
+	}
+	k := s.PeakBin(1, len(s.Power)-2)
+	if k <= 0 || k >= len(s.Power)-1 || s.Power[k] <= 0 {
+		return 0, false
+	}
+	la := DB(s.Power[k-1])
+	lb := DB(s.Power[k])
+	lc := DB(s.Power[k+1])
+	den := la - 2*lb + lc
+	delta := 0.0
+	if den != 0 {
+		delta = 0.5 * (la - lc) / den
+	}
+	return (float64(k) + delta) * sampleRate / float64(s.NFFT), true
+}
+
+// finishFit converts (a, b, c) to amplitude/phase form and computes
+// the residual.
+func finishFit(x []float64, sampleRate, freq, a, b, c float64) SineFitResult {
+	w := 2 * math.Pi * freq / sampleRate
+	amp := math.Hypot(a, b)
+	// a·cos(wt) + b·sin(wt) = amp·cos(wt + φ), φ = atan2(−b, a).
+	phase := math.Atan2(-b, a)
+	var ss float64
+	for i, v := range x {
+		fit := a*math.Cos(w*float64(i)) + b*math.Sin(w*float64(i)) + c
+		d := v - fit
+		ss += d * d
+	}
+	return SineFitResult{
+		Amplitude:   amp,
+		Phase:       phase,
+		Offset:      c,
+		Frequency:   freq,
+		RMSResidual: math.Sqrt(ss / float64(len(x))),
+	}
+}
+
+// solveLinear solves the augmented system rows·[x|rhs] by Gaussian
+// elimination with partial pivoting. Each row has n+1 entries.
+func solveLinear(rows [][]float64) ([]float64, error) {
+	n := len(rows)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		best := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(rows[r][col]) > math.Abs(rows[best][col]) {
+				best = r
+			}
+		}
+		rows[col], rows[best] = rows[best], rows[col]
+		p := rows[col][col]
+		if math.Abs(p) < 1e-300 {
+			return nil, fmt.Errorf("dsp: singular system in sine fit")
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := rows[r][col] / p
+			for q := col; q <= n; q++ {
+				rows[r][q] -= f * rows[col][q]
+			}
+		}
+	}
+	sol := make([]float64, n)
+	for r := 0; r < n; r++ {
+		sol[r] = rows[r][n] / rows[r][r]
+	}
+	return sol, nil
+}

@@ -1,0 +1,154 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSineFit3Exact(t *testing.T) {
+	fs := 1e6
+	n := 1000
+	f := 12345.0
+	amp, phase, dc := 0.73, 1.1, -0.25
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = amp*math.Cos(2*math.Pi*f*float64(i)/fs+phase) + dc
+	}
+	res, err := SineFit3(x, fs, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Amplitude-amp) > 1e-9 {
+		t.Errorf("amplitude = %g", res.Amplitude)
+	}
+	if math.Abs(res.Phase-phase) > 1e-9 {
+		t.Errorf("phase = %g", res.Phase)
+	}
+	if math.Abs(res.Offset-dc) > 1e-9 {
+		t.Errorf("offset = %g", res.Offset)
+	}
+	if res.RMSResidual > 1e-9 {
+		t.Errorf("residual = %g", res.RMSResidual)
+	}
+}
+
+func TestSineFit3Property(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fs := 1e6
+		n := 300 + rng.Intn(300)
+		freq := 1e3 + rng.Float64()*4e5
+		amp := 0.1 + rng.Float64()
+		phase := rng.Float64()*2*math.Pi - math.Pi
+		dc := rng.NormFloat64() * 0.3
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = amp*math.Cos(2*math.Pi*freq*float64(i)/fs+phase) + dc
+		}
+		res, err := SineFit3(x, fs, freq)
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Amplitude-amp) < 1e-6 &&
+			math.Abs(res.Offset-dc) < 1e-6 &&
+			res.RMSResidual < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSineFit3Validation(t *testing.T) {
+	if _, err := SineFit3([]float64{1, 2}, 1e6, 100); err == nil {
+		t.Error("short record accepted")
+	}
+	x := make([]float64, 100)
+	if _, err := SineFit3(x, 0, 100); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := SineFit3(x, 1e6, 0); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+func TestSineFit4RecoversFrequencyError(t *testing.T) {
+	fs := 1e6
+	n := 4096
+	trueF := 98765.4321
+	guess := 98000.0 // ~0.8% off
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 0.5 * math.Cos(2*math.Pi*trueF*float64(i)/fs+0.4)
+	}
+	res, err := SineFit4(x, fs, guess, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Frequency-trueF) > 0.01 {
+		t.Errorf("frequency = %.6f, want %.6f", res.Frequency, trueF)
+	}
+	if math.Abs(res.Amplitude-0.5) > 1e-6 {
+		t.Errorf("amplitude = %g", res.Amplitude)
+	}
+	if res.RMSResidual > 1e-6 {
+		t.Errorf("residual = %g", res.RMSResidual)
+	}
+}
+
+func TestSineFit4WithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	fs := 1e6
+	n := 8192
+	trueF := 123456.0
+	sigma := 0.05
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2*math.Pi*trueF*float64(i)/fs) + rng.NormFloat64()*sigma
+	}
+	res, err := SineFit4(x, fs, 123000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequency resolution of the fit beats the FFT bin (122 Hz here)
+	// by orders of magnitude even in noise.
+	if math.Abs(res.Frequency-trueF) > 5 {
+		t.Errorf("frequency = %.3f, want %.0f ± 5", res.Frequency, trueF)
+	}
+	// Residual estimates the noise.
+	if math.Abs(res.RMSResidual-sigma)/sigma > 0.1 {
+		t.Errorf("residual = %g, want ~%g", res.RMSResidual, sigma)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	rows := [][]float64{
+		{1, 2, 3},
+		{2, 4, 6},
+	}
+	if _, err := solveLinear(rows); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestSineFitPhaseConvention(t *testing.T) {
+	// The fitted model must reproduce the generator's convention
+	// amp·cos(wt + phase).
+	fs := 1e5
+	f := 7000.0
+	for _, phase := range []float64{-2.5, -1, 0, 0.5, 2.9} {
+		x := make([]float64, 500)
+		for i := range x {
+			x[i] = 0.3 * math.Cos(2*math.Pi*f*float64(i)/fs+phase)
+		}
+		res, err := SineFit3(x, fs, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := math.Mod(res.Phase-phase+3*math.Pi, 2*math.Pi) - math.Pi
+		if math.Abs(d) > 1e-9 {
+			t.Errorf("phase %g fitted as %g", phase, res.Phase)
+		}
+	}
+}

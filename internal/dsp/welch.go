@@ -1,0 +1,87 @@
+package dsp
+
+import (
+	"fmt"
+)
+
+// WelchOptions configures averaged power-spectrum estimation.
+type WelchOptions struct {
+	// SegmentLength is the per-segment FFT size (power of two).
+	SegmentLength int
+	// Overlap is the fraction of segment overlap in [0, 0.9]
+	// (0.5 is the classic choice).
+	Overlap float64
+	// Window tapers each segment (Hann by default when zero value is
+	// Rectangular and UseDefaultWindow is set by callers; pass
+	// explicitly for clarity).
+	Window WindowType
+}
+
+// Welch estimates the power spectrum by averaging windowed,
+// overlapping segments — the standard way a tester measures a *noise*
+// floor with low variance (the single-record spectrum has 100%
+// variance per bin; K averages reduce it by 1/K).
+func Welch(x []float64, sampleRate float64, opts WelchOptions) (*Spectrum, error) {
+	n := opts.SegmentLength
+	if n <= 0 || !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("dsp: Welch segment length %d must be a power of two", n)
+	}
+	if len(x) < n {
+		return nil, fmt.Errorf("dsp: record %d shorter than segment %d", len(x), n)
+	}
+	if opts.Overlap < 0 || opts.Overlap > 0.9 {
+		return nil, fmt.Errorf("dsp: overlap %g out of [0, 0.9]", opts.Overlap)
+	}
+	step := int(float64(n) * (1 - opts.Overlap))
+	if step < 1 {
+		step = 1
+	}
+	var acc *Spectrum
+	segments := 0
+	for start := 0; start+n <= len(x); start += step {
+		s, err := PowerSpectrum(x[start:start+n], sampleRate, opts.Window)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = s
+		} else {
+			for k := range acc.Power {
+				acc.Power[k] += s.Power[k]
+			}
+		}
+		segments++
+	}
+	inv := 1 / float64(segments)
+	for k := range acc.Power {
+		acc.Power[k] *= inv
+	}
+	return acc, nil
+}
+
+// CoherentAverage averages K consecutive length-n records sample by
+// sample. For a stimulus that is periodic in n, signal adds coherently
+// while noise averages down by 1/K in power — the tester trick for
+// pulling small deterministic fault effects out of noise without
+// longer FFTs.
+func CoherentAverage(x []float64, n int) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dsp: CoherentAverage length %d must be positive", n)
+	}
+	k := len(x) / n
+	if k < 1 {
+		return nil, fmt.Errorf("dsp: record %d shorter than one period %d", len(x), n)
+	}
+	out := make([]float64, n)
+	for rep := 0; rep < k; rep++ {
+		base := rep * n
+		for i := 0; i < n; i++ {
+			out[i] += x[base+i]
+		}
+	}
+	inv := 1 / float64(k)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchValidation(t *testing.T) {
+	x := make([]float64, 256)
+	if _, err := Welch(x, 1e6, WelchOptions{SegmentLength: 100}); err == nil {
+		t.Error("non-power-of-two segment accepted")
+	}
+	if _, err := Welch(x, 1e6, WelchOptions{SegmentLength: 512}); err == nil {
+		t.Error("record shorter than segment accepted")
+	}
+	if _, err := Welch(x, 1e6, WelchOptions{SegmentLength: 64, Overlap: 0.95}); err == nil {
+		t.Error("overlap 0.95 accepted")
+	}
+}
+
+func TestWelchReducesNoiseVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	n := 1 << 15
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	// Single-record estimate.
+	single, err := PowerSpectrum(x[:512], 1e6, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := Welch(x, 1e6, WelchOptions{SegmentLength: 512, Overlap: 0.5, Window: Hann})
+	if err != nil {
+		t.Fatal(err)
+	}
+	varOf := func(s *Spectrum) float64 {
+		// Relative variance of per-bin powers over the middle band.
+		var mean, m2 float64
+		nBins := 0
+		for k := 10; k < len(s.Power)-10; k++ {
+			mean += s.Power[k]
+			nBins++
+		}
+		mean /= float64(nBins)
+		for k := 10; k < len(s.Power)-10; k++ {
+			d := s.Power[k] - mean
+			m2 += d * d
+		}
+		return m2 / float64(nBins) / (mean * mean)
+	}
+	vs, va := varOf(single), varOf(avg)
+	if va >= vs/10 {
+		t.Errorf("Welch variance %g not much below single-record %g", va, vs)
+	}
+	// The mean level must agree (both estimate the same density).
+	mean := func(s *Spectrum) float64 {
+		var m float64
+		for k := 10; k < len(s.Power)-10; k++ {
+			m += s.Power[k]
+		}
+		return m / float64(len(s.Power)-20)
+	}
+	if r := mean(avg) / mean(single); r < 0.7 || r > 1.4 {
+		t.Errorf("mean level ratio %g", r)
+	}
+}
+
+func TestWelchPreservesTone(t *testing.T) {
+	n := 1 << 14
+	fs := 1e6
+	seg := 1024
+	f := CoherentBin(fs, seg, 101)
+	x := makeTone(n, fs, f, 0.5, 0, 0)
+	s, err := Welch(x, fs, WelchOptions{SegmentLength: seg, Overlap: 0.5, Window: Hann})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MeasureTone(s, f)
+	if math.Abs(m.Amplitude-0.5) > 0.02 {
+		t.Errorf("Welch tone amplitude = %g", m.Amplitude)
+	}
+}
+
+func TestCoherentAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	period := 128
+	reps := 64
+	fs := 1e6
+	f := CoherentBin(fs, period, 7)
+	x := make([]float64, period*reps)
+	for i := range x {
+		ti := float64(i) / fs
+		x[i] = 0.01*math.Cos(2*math.Pi*f*ti) + rng.NormFloat64()*0.1
+	}
+	avg, err := CoherentAverage(x, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(avg) != period {
+		t.Fatalf("len = %d", len(avg))
+	}
+	// Tone survives, noise drops ~1/sqrt(64) = 8x in amplitude.
+	s, err := PowerSpectrum(avg, fs, Rectangular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MeasureTone(s, f)
+	if math.Abs(m.Amplitude-0.01)/0.01 > 0.25 {
+		t.Errorf("averaged tone amplitude = %g, want ~0.01", m.Amplitude)
+	}
+	var noise float64
+	cnt := 0
+	for k := 1; k < len(s.Power); k++ {
+		if k != s.Bin(f) {
+			noise += s.Power[k]
+			cnt++
+		}
+	}
+	noiseRMS := math.Sqrt(noise)
+	// Raw noise RMS is 0.1; averaged should be ~0.0125.
+	if noiseRMS > 0.03 {
+		t.Errorf("averaged noise RMS = %g, want ~0.0125", noiseRMS)
+	}
+}
+
+func TestCoherentAverageValidation(t *testing.T) {
+	if _, err := CoherentAverage(make([]float64, 10), 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := CoherentAverage(make([]float64, 10), 20); err == nil {
+		t.Error("record shorter than period accepted")
+	}
+}

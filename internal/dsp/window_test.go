@@ -1,0 +1,154 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowLengths(t *testing.T) {
+	for _, wt := range []WindowType{Rectangular, Hann, Hamming, Blackman, BlackmanHarris, FlatTop} {
+		for _, n := range []int{1, 2, 7, 64} {
+			w := Window(wt, n)
+			if len(w) != n {
+				t.Errorf("%v: len = %d, want %d", wt, len(w), n)
+			}
+		}
+	}
+}
+
+func TestWindowPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	Window(Hann, 0)
+}
+
+func TestWindowPanicsOnUnknownType(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown type")
+		}
+	}()
+	Window(WindowType(99), 8)
+}
+
+func TestWindowSymmetry(t *testing.T) {
+	for _, wt := range []WindowType{Hann, Hamming, Blackman, BlackmanHarris, FlatTop} {
+		w := Window(wt, 65)
+		for i := 0; i < len(w)/2; i++ {
+			if math.Abs(w[i]-w[len(w)-1-i]) > 1e-12 {
+				t.Errorf("%v: asymmetric at %d: %g vs %g", wt, i, w[i], w[len(w)-1-i])
+			}
+		}
+	}
+}
+
+func TestHannEndpointsAndPeak(t *testing.T) {
+	w := Window(Hann, 33)
+	if math.Abs(w[0]) > 1e-12 || math.Abs(w[32]) > 1e-12 {
+		t.Errorf("Hann endpoints not zero: %g, %g", w[0], w[32])
+	}
+	if math.Abs(w[16]-1) > 1e-12 {
+		t.Errorf("Hann center = %g, want 1", w[16])
+	}
+}
+
+func TestRectangularIsAllOnes(t *testing.T) {
+	w := Window(Rectangular, 16)
+	for i, v := range w {
+		if v != 1 {
+			t.Fatalf("Rectangular[%d] = %g", i, v)
+		}
+	}
+	if g := CoherentGain(w); g != 1 {
+		t.Errorf("CoherentGain(rect) = %g, want 1", g)
+	}
+	if nb := NoiseBandwidth(w); math.Abs(nb-1) > 1e-12 {
+		t.Errorf("NoiseBandwidth(rect) = %g, want 1", nb)
+	}
+}
+
+func TestCoherentGainKnownValues(t *testing.T) {
+	// Hann coherent gain tends to 0.5 for large N.
+	w := Window(Hann, 4096)
+	if g := CoherentGain(w); math.Abs(g-0.5) > 1e-3 {
+		t.Errorf("Hann coherent gain = %g, want ~0.5", g)
+	}
+	// Hamming tends to 0.54.
+	w = Window(Hamming, 4096)
+	if g := CoherentGain(w); math.Abs(g-0.54) > 1e-3 {
+		t.Errorf("Hamming coherent gain = %g, want ~0.54", g)
+	}
+}
+
+func TestNoiseBandwidthKnownValues(t *testing.T) {
+	// Hann ENBW = 1.5 bins.
+	w := Window(Hann, 8192)
+	if nb := NoiseBandwidth(w); math.Abs(nb-1.5) > 1e-2 {
+		t.Errorf("Hann ENBW = %g, want ~1.5", nb)
+	}
+	// Blackman-Harris 4-term ENBW ≈ 2.0044.
+	w = Window(BlackmanHarris, 8192)
+	if nb := NoiseBandwidth(w); math.Abs(nb-2.0044) > 1e-2 {
+		t.Errorf("Blackman-Harris ENBW = %g, want ~2.0044", nb)
+	}
+}
+
+func TestCoherentGainEmpty(t *testing.T) {
+	if CoherentGain(nil) != 0 {
+		t.Error("CoherentGain(nil) != 0")
+	}
+	if NoiseBandwidth(nil) != 0 {
+		t.Error("NoiseBandwidth(nil) != 0")
+	}
+}
+
+func TestNoiseBandwidthZeroSumWindow(t *testing.T) {
+	if nb := NoiseBandwidth([]float64{1, -1}); !math.IsInf(nb, 1) {
+		t.Errorf("NoiseBandwidth of zero-sum window = %g, want +inf", nb)
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	w := []float64{0.5, 0.5, 0.5, 0.5}
+	out, err := ApplyWindow(x, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.5, 1, 1.5, 2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("out[%d] = %g, want %g", i, out[i], want[i])
+		}
+	}
+	// Original untouched.
+	if x[0] != 1 {
+		t.Fatal("ApplyWindow modified its input")
+	}
+}
+
+func TestApplyWindowLengthMismatch(t *testing.T) {
+	if _, err := ApplyWindow([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestWindowTypeString(t *testing.T) {
+	cases := map[WindowType]string{
+		Rectangular:    "rectangular",
+		Hann:           "hann",
+		Hamming:        "hamming",
+		Blackman:       "blackman",
+		BlackmanHarris: "blackman-harris",
+		FlatTop:        "flat-top",
+		WindowType(42): "WindowType(42)",
+	}
+	for wt, want := range cases {
+		if got := wt.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(wt), got, want)
+		}
+	}
+}

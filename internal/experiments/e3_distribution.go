@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mstx/internal/tolerance"
+)
+
+// Fig2Result reproduces Figure 2: the probability distribution of a
+// module parameter with its tolerance band, and the fault-coverage /
+// yield-loss masses created by a given measurement error.
+type Fig2Result struct {
+	// X and PDF are the distribution curve samples.
+	X, PDF []float64
+	// Spec is the tolerance band on the true value.
+	Spec tolerance.SpecLimit
+	// Err is the measurement error sigma.
+	ErrSigma float64
+	// Losses holds the loss masses at the nominal threshold.
+	Losses tolerance.LossEstimate
+	// Sweep holds the Table 2-style threshold sweep for the same
+	// parameter (Figure 5's trade-off).
+	Sweep []tolerance.ThresholdRow
+}
+
+// Fig2Options configures the demonstration parameter.
+type Fig2Options struct {
+	// Mean, Sigma describe the parameter's process distribution.
+	Mean, Sigma float64
+	// TolLo, TolHi is the acceptance band.
+	TolLo, TolHi float64
+	// ErrSigma is the 1σ measurement error.
+	ErrSigma float64
+	// Points is the curve resolution. Default 201.
+	Points int
+}
+
+// DefaultFig2Options returns the canonical demonstration: a parameter
+// at 10 ± 1 with a ±2 acceptance band and a 0.4σ measurement error.
+func DefaultFig2Options() Fig2Options {
+	return Fig2Options{Mean: 10, Sigma: 1, TolLo: 8, TolHi: 12, ErrSigma: 0.4, Points: 201}
+}
+
+// Fig2 generates the distribution curve and loss computation.
+func Fig2(opts Fig2Options) (*Fig2Result, error) {
+	if opts.Sigma <= 0 {
+		return nil, fmt.Errorf("experiments: sigma must be positive")
+	}
+	if opts.Points == 0 {
+		opts.Points = 201
+	}
+	dist := tolerance.Normal{Mean: opts.Mean, Sigma: opts.Sigma}
+	spec := tolerance.BandLimit(opts.TolLo, opts.TolHi)
+	x, pdf := tolerance.DistributionCurve(dist, opts.Points, 4)
+	errD := tolerance.Normal{Sigma: opts.ErrSigma}
+	losses := tolerance.AnalyticLosses(dist, errD, spec, spec)
+	sweep := tolerance.ThresholdSweep(dist, opts.ErrSigma, tolerance.WorstCaseErr(opts.ErrSigma), spec)
+	return &Fig2Result{
+		X: x, PDF: pdf, Spec: spec, ErrSigma: opts.ErrSigma,
+		Losses: losses, Sweep: sweep,
+	}, nil
+}
+
+// Format renders the loss summary and threshold sweep.
+func (r *Fig2Result) Format() string {
+	rows := [][]string{{"threshold", "FCL", "YL"}}
+	for _, row := range r.Sweep {
+		rows = append(rows, []string{row.Label, fpct(row.Losses.FCL), fpct(row.Losses.YL)})
+	}
+	head := fmt.Sprintf("parameter pdf over [%g, %g], tolerance [%g, %g], err σ=%g\n"+
+		"at nominal threshold: FCL=%s YL=%s (good fraction %s)\n",
+		r.X[0], r.X[len(r.X)-1], r.Spec.Lo, r.Spec.Hi, r.ErrSigma,
+		fpct(r.Losses.FCL), fpct(r.Losses.YL), fpct(r.Losses.GoodFraction))
+	return head + table(rows)
+}

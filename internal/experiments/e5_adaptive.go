@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mstx/internal/params"
+)
+
+// MethodAccuracy summarizes the IIP3 measurement error of one
+// translation method over a Monte-Carlo population of devices.
+type MethodAccuracy struct {
+	// Method is the translation method.
+	Method params.Method
+	// MeanErr, RMSErr, WorstAbs are the error statistics in dB.
+	MeanErr, RMSErr, WorstAbs float64
+	// Devices is the population size.
+	Devices int
+}
+
+// Fig4Result holds the adaptive-accuracy study.
+type Fig4Result struct {
+	Rows []MethodAccuracy
+}
+
+// Fig4Options configures the Monte-Carlo population.
+type Fig4Options struct {
+	// Devices is the number of sampled devices. Default 25.
+	Devices int
+	// Seed drives the device sampling.
+	Seed int64
+	// N is the capture length. Default 2048.
+	N int
+}
+
+// Fig4 reproduces Figure 4: the mixer IIP3 is measured on a
+// population of process-varied devices with full access, with nominal
+// gains, and with the adaptive path-gain-first strategy. The adaptive
+// error spread must be markedly tighter than nominal (only the
+// amplifier tolerance remains), with full access as the floor.
+func Fig4(opts Fig4Options) (*Fig4Result, error) {
+	if opts.Devices == 0 {
+		opts.Devices = 25
+	}
+	if opts.N == 0 {
+		opts.N = 2048
+	}
+	spec, err := BuildDefaultSpec()
+	if err != nil {
+		return nil, err
+	}
+	cfg := params.Config{N: opts.N, Settle: 256}
+	st := params.DefaultIIP3Stimulus()
+	rng := rand.New(rand.NewSource(opts.Seed + 400))
+	methods := []params.Method{params.FullAccess, params.NominalGains, params.Adaptive}
+	errs := make(map[params.Method][]float64)
+	for i := 0; i < opts.Devices; i++ {
+		device, err := spec.Sample(rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range methods {
+			res, err := params.MeasureMixerIIP3(device, m, st, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			errs[m] = append(errs[m], res.Delta())
+		}
+	}
+	out := &Fig4Result{}
+	for _, m := range methods {
+		es := errs[m]
+		var sum, sum2, worst float64
+		for _, e := range es {
+			sum += e
+			sum2 += e * e
+			if a := math.Abs(e); a > worst {
+				worst = a
+			}
+		}
+		out.Rows = append(out.Rows, MethodAccuracy{
+			Method:   m,
+			MeanErr:  sum / float64(len(es)),
+			RMSErr:   math.Sqrt(sum2 / float64(len(es))),
+			WorstAbs: worst,
+			Devices:  len(es),
+		})
+	}
+	return out, nil
+}
+
+// RMSByMethod returns the RMS error of the given method, or NaN.
+func (r *Fig4Result) RMSByMethod(m params.Method) float64 {
+	for _, row := range r.Rows {
+		if row.Method == m {
+			return row.RMSErr
+		}
+	}
+	return math.NaN()
+}
+
+// Format renders the accuracy table.
+func (r *Fig4Result) Format() string {
+	rows := [][]string{{"method", "mean err (dB)", "rms err (dB)", "worst |err| (dB)", "devices"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{
+			row.Method.String(), fdb(row.MeanErr), fdb(row.RMSErr), fdb(row.WorstAbs),
+			fmt.Sprintf("%d", row.Devices),
+		})
+	}
+	return table(rows)
+}

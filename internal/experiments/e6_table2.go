@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mstx/internal/params"
+	"mstx/internal/path"
+	"mstx/internal/tolerance"
+)
+
+// Table2Row is one parameter's line of Table 2: fault-coverage loss
+// and yield loss at the three threshold choices.
+type Table2Row struct {
+	// Parameter names the measured parameter.
+	Parameter string
+	// Method is the translation method that was used.
+	Method params.Method
+	// ErrSigma is the empirically determined 1σ measurement error.
+	ErrSigma float64
+	// Unit is the parameter unit.
+	Unit string
+	// Sweep holds the Tol / Tol−Err / Tol+Err loss rows.
+	Sweep []tolerance.ThresholdRow
+}
+
+// Table2Result reproduces Table 2 for P1dB, IIP3 and fc.
+type Table2Result struct {
+	Rows []Table2Row
+	// Devices is the Monte-Carlo population used to estimate the
+	// measurement error of each procedure.
+	Devices int
+}
+
+// Table2Options configures the study.
+type Table2Options struct {
+	// Devices is the Monte-Carlo population. Default 15.
+	Devices int
+	// Seed drives device sampling.
+	Seed int64
+	// N is the capture length. Default 2048.
+	N int
+}
+
+// Table2 runs the full Table 2 reproduction: for each of the three
+// propagation-translated parameters the measurement procedure runs on
+// a population of process-varied devices, the empirical error spread
+// is extracted (bias removed — the tester calibrates out systematic
+// bias), and the FCL/YL threshold sweep is computed against the
+// parameter's process distribution.
+func Table2(opts Table2Options) (*Table2Result, error) {
+	if opts.Devices == 0 {
+		opts.Devices = 15
+	}
+	if opts.N == 0 {
+		opts.N = 2048
+	}
+	spec, err := BuildDefaultSpec()
+	if err != nil {
+		return nil, err
+	}
+	cfg := params.Config{N: opts.N, Settle: 256}
+	st := params.DefaultIIP3Stimulus()
+
+	type study struct {
+		name    string
+		unit    string
+		method  params.Method
+		measure func(p *path.Path) (params.Result, error)
+		dist    tolerance.Normal
+		spec    tolerance.SpecLimit
+	}
+	studies := []study{
+		{
+			name: "P1dB", unit: "dBm", method: params.NominalGains,
+			measure: func(p *path.Path) (params.Result, error) {
+				return params.MeasureMixerP1dB(p, params.NominalGains, cfg, nil)
+			},
+			dist: tolerance.Normal{Mean: spec.Mixer.P1dBDBm.Nominal, Sigma: spec.Mixer.P1dBDBm.Sigma},
+			spec: tolerance.LowerLimit(spec.Mixer.P1dBDBm.Nominal - 2),
+		},
+		{
+			name: "IIP3", unit: "dBm", method: params.Adaptive,
+			measure: func(p *path.Path) (params.Result, error) {
+				return params.MeasureMixerIIP3(p, params.Adaptive, st, cfg, nil)
+			},
+			dist: tolerance.Normal{Mean: spec.Mixer.IIP3DBm.Nominal, Sigma: spec.Mixer.IIP3DBm.Sigma},
+			spec: tolerance.LowerLimit(spec.Mixer.IIP3DBm.Nominal - 2),
+		},
+		{
+			name: "fc", unit: "Hz", method: params.Adaptive,
+			measure: func(p *path.Path) (params.Result, error) {
+				return params.MeasureLPFCutoff(p, cfg, nil)
+			},
+			dist: tolerance.Normal{Mean: spec.LPF.CutoffHz.Nominal, Sigma: spec.LPF.CutoffHz.Sigma},
+			spec: tolerance.BandLimit(spec.LPF.CutoffHz.Nominal*0.92, spec.LPF.CutoffHz.Nominal*1.08),
+		},
+	}
+
+	res := &Table2Result{Devices: opts.Devices}
+	rng := rand.New(rand.NewSource(opts.Seed + 600))
+	devices := make([]*path.Path, 0, opts.Devices)
+	for i := 0; i < opts.Devices; i++ {
+		d, err := spec.Sample(rng)
+		if err != nil {
+			return nil, err
+		}
+		devices = append(devices, d)
+	}
+	for _, s := range studies {
+		var deltas []float64
+		for _, d := range devices {
+			r, err := s.measure(d)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s on device: %w", s.name, err)
+			}
+			deltas = append(deltas, r.Delta())
+		}
+		sigma := sigmaAboutMean(deltas)
+		if sigma <= 0 {
+			sigma = 1e-9
+		}
+		sweep := tolerance.ThresholdSweep(s.dist, sigma, tolerance.WorstCaseErr(sigma), s.spec)
+		res.Rows = append(res.Rows, Table2Row{
+			Parameter: s.name, Method: s.method, ErrSigma: sigma, Unit: s.unit, Sweep: sweep,
+		})
+	}
+	return res, nil
+}
+
+// sigmaAboutMean returns the standard deviation of xs about their
+// mean (the tester calibrates out the systematic bias).
+func sigmaAboutMean(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	var ss float64
+	for _, v := range xs {
+		ss += (v - mean) * (v - mean)
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Format renders the Table 2 reproduction in the paper's layout.
+func (r *Table2Result) Format() string {
+	rows := [][]string{{
+		"param", "method", "err σ",
+		"Tol FCL", "Tol YL",
+		"Tol-Err FCL", "Tol-Err YL",
+		"Tol+Err FCL", "Tol+Err YL",
+	}}
+	for _, row := range r.Rows {
+		cells := []string{row.Parameter, row.Method.String(),
+			fmt.Sprintf("%.3g %s", row.ErrSigma, row.Unit)}
+		for _, sw := range row.Sweep {
+			cells = append(cells, fpct(sw.Losses.FCL), fpct(sw.Losses.YL))
+		}
+		rows = append(rows, cells)
+	}
+	return table(rows)
+}

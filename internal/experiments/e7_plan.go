@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mstx/internal/core"
+	"mstx/internal/translate"
+)
+
+// Table1Result holds the synthesized test plan — the reproduction of
+// Table 1 ("set of parameters to be tested") enriched with the
+// engine's translation decisions.
+type Table1Result struct {
+	// Plan is the synthesized plan.
+	Plan *translate.Plan
+}
+
+// Table1 synthesizes the default test plan for the communication
+// path.
+func Table1() (*Table1Result, error) {
+	spec, err := BuildDefaultSpec()
+	if err != nil {
+		return nil, err
+	}
+	synth, err := core.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := synth.Synthesize(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{Plan: plan}, nil
+}
+
+// Format renders the plan as the Table 1 reproduction.
+func (r *Table1Result) Format() string {
+	rows := [][]string{{"#", "target", "parameter", "translation", "method", "pred. err σ", "notes"}}
+	for _, t := range r.Plan.Tests {
+		errStr := "-"
+		if t.ErrSigma > 0 {
+			errStr = fmt.Sprintf("%.3g", t.ErrSigma)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", t.Order),
+			t.Request.Target,
+			string(t.Request.Param),
+			t.Kind.String(),
+			t.Method.String(),
+			errStr,
+			t.Reason,
+		})
+	}
+	out := table(rows)
+	out += fmt.Sprintf("\nboundary checks (Fig. 3):\n")
+	for _, b := range r.Plan.Boundary {
+		out += fmt.Sprintf("  %-10s at PI amplitude %.3g V — %s\n", b.Kind, b.PIAmplitude, b.Why)
+	}
+	out += fmt.Sprintf("\nDFT fallback required for %d of %d parameters\n",
+		len(r.Plan.DFTRequired), len(r.Plan.Tests))
+	out += fmt.Sprintf("translated program: %d captures ≈ %.1f ms of tester time (4096-pt captures, 100 µs setup)\n",
+		r.Plan.TotalCaptures(), 1e3*r.Plan.TestTime(4096, 512, 8e6, 100e-6))
+	return out
+}

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"fmt"
+	"math/bits"
+
+	"mstx/internal/netlist"
+)
+
+// Dictionary is a fault dictionary for one stimulus record: for every
+// fault it stores the *signature* — the set of output sample positions
+// the fault perturbs. Diagnosis ranks faults by signature similarity
+// to an observed failing response, the classic dictionary-based
+// fault-location step that follows a failing production test.
+type Dictionary struct {
+	// Faults lists the dictionary entries.
+	Faults []netlist.Fault
+	// Patterns is the record length the signatures cover.
+	Patterns int
+
+	sigs  [][]uint64 // per fault: bitset over sample positions
+	words int
+}
+
+// Candidate is one ranked diagnosis.
+type Candidate struct {
+	// Fault is the candidate fault site.
+	Fault netlist.Fault
+	// Score is the Jaccard similarity of the candidate's signature to
+	// the observed one (1 = identical).
+	Score float64
+	// Exact reports a bit-identical signature.
+	Exact bool
+}
+
+// BuildDictionary simulates every fault of the universe on xs and
+// stores its perturbation signature.
+func BuildDictionary(u *Universe, xs []int64) (*Dictionary, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("fault: empty record")
+	}
+	words := (len(xs) + 63) / 64
+	d := &Dictionary{
+		Faults:   append([]netlist.Fault(nil), u.Faults...),
+		Patterns: len(xs),
+		words:    words,
+	}
+	const batch = 63
+	for lo := 0; lo < len(u.Faults); lo += batch {
+		hi := lo + batch
+		if hi > len(u.Faults) {
+			hi = len(u.Faults)
+		}
+		good, faulty, err := Records(u, xs, u.Faults[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		for fi, rec := range faulty {
+			sig := make([]uint64, words)
+			for i := range rec {
+				if rec[i] != good[i] {
+					sig[i/64] |= 1 << uint(i%64)
+				}
+			}
+			d.sigs = append(d.sigs, sig)
+			_ = fi
+		}
+	}
+	return d, nil
+}
+
+// signatureOf converts an observed (good, observed) record pair to a
+// perturbation bitset.
+func (d *Dictionary) signatureOf(good, observed []int64) ([]uint64, error) {
+	if len(good) != d.Patterns || len(observed) != d.Patterns {
+		return nil, fmt.Errorf("fault: record length %d/%d != dictionary %d",
+			len(good), len(observed), d.Patterns)
+	}
+	sig := make([]uint64, d.words)
+	for i := range good {
+		if good[i] != observed[i] {
+			sig[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return sig, nil
+}
+
+// Diagnose ranks dictionary faults by signature similarity to the
+// observed failing response and returns the top k candidates
+// (fewer when the dictionary is smaller). Faults with empty
+// signatures (undetectable on this stimulus) never match a non-empty
+// observation.
+func (d *Dictionary) Diagnose(good, observed []int64, k int) ([]Candidate, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("fault: k = %d must be positive", k)
+	}
+	obs, err := d.signatureOf(good, observed)
+	if err != nil {
+		return nil, err
+	}
+	obsPop := popcount(obs)
+	var cands []Candidate
+	for i, sig := range d.sigs {
+		inter, union := 0, 0
+		for w := range sig {
+			inter += bits.OnesCount64(sig[w] & obs[w])
+			union += bits.OnesCount64(sig[w] | obs[w])
+		}
+		if union == 0 {
+			continue // both empty: nothing to say
+		}
+		score := float64(inter) / float64(union)
+		if score == 0 {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Fault: d.Faults[i],
+			Score: score,
+			Exact: inter == union && obsPop > 0,
+		})
+	}
+	// Partial selection sort for the top k (k is small).
+	if k > len(cands) {
+		k = len(cands)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].Score > cands[best].Score {
+				best = j
+			}
+		}
+		cands[i], cands[best] = cands[best], cands[i]
+	}
+	return cands[:k], nil
+}
+
+func popcount(sig []uint64) int {
+	n := 0
+	for _, w := range sig {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"mstx/internal/digital"
+)
+
+func TestBuildDictionaryValidation(t *testing.T) {
+	fir := smallFIR(t)
+	u := NewUniverse(fir, true)
+	if _, err := BuildDictionary(u, nil); err == nil {
+		t.Error("empty record accepted")
+	}
+}
+
+func TestDiagnoseLocatesInjectedFault(t *testing.T) {
+	fir := smallFIR(t)
+	u := NewUniverse(fir, true)
+	xs := sineRecord(96, 28, 5)
+	dict, err := BuildDictionary(u, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := fir.ReferencePeriodic(xs)
+
+	rng := rand.New(rand.NewSource(120))
+	trials, located := 0, 0
+	for i := 0; i < 12; i++ {
+		f := u.Faults[rng.Intn(len(u.Faults))]
+		sim := digital.NewFIRSim(fir)
+		if err := sim.InjectFault(f, ^uint64(0)); err != nil {
+			t.Fatal(err)
+		}
+		observed, err := sim.RunPeriodic(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands, err := dict.Diagnose(good, observed, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) == 0 {
+			// Undetectable fault on this stimulus — skip.
+			continue
+		}
+		trials++
+		// The injected fault (or a signature-equivalent one) must top
+		// the ranking with an exact match.
+		if !cands[0].Exact {
+			t.Errorf("fault %v: best candidate %v score %.3f not exact",
+				f, cands[0].Fault, cands[0].Score)
+			continue
+		}
+		// The true fault must appear among the exact matches.
+		found := false
+		for _, c := range cands {
+			if c.Fault == f && c.Exact {
+				found = true
+			}
+		}
+		// Equivalent faults share signatures; accept any exact match
+		// but count how often the literal site is in the top-3.
+		if found {
+			located++
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no diagnosable trials")
+	}
+	if located < trials/2 {
+		t.Errorf("literal site located in only %d of %d trials", located, trials)
+	}
+}
+
+func TestDiagnoseValidation(t *testing.T) {
+	fir := smallFIR(t)
+	u := NewUniverse(fir, true)
+	xs := sineRecord(32, 20, 3)
+	dict, err := BuildDictionary(u, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := fir.ReferencePeriodic(xs)
+	if _, err := dict.Diagnose(good, good[:10], 3); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := dict.Diagnose(good, good, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	// Healthy observation: no candidates.
+	cands, err := dict.Diagnose(good, good, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		if c.Exact {
+			t.Errorf("healthy record exactly matched fault %v", c.Fault)
+		}
+	}
+}
+
+func TestDiagnoseRejectsUnrelatedPerturbation(t *testing.T) {
+	fir := smallFIR(t)
+	u := NewUniverse(fir, true)
+	xs := sineRecord(64, 25, 3)
+	dict, err := BuildDictionary(u, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := fir.ReferencePeriodic(xs)
+	// A single-sample glitch matches poorly against real signatures.
+	observed := append([]int64(nil), good...)
+	observed[7] += 1
+	cands, err := dict.Diagnose(good, observed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) > 0 && cands[0].Score > 0.6 {
+		t.Errorf("glitch matched %v at %.2f", cands[0].Fault, cands[0].Score)
+	}
+}

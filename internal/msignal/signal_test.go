@@ -1,0 +1,295 @@
+package msignal
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructors(t *testing.T) {
+	s := NewTone(1e6, 0.5)
+	if len(s.Tones) != 1 || s.Tones[0].Freq != 1e6 || s.Tones[0].Amp != 0.5 {
+		t.Fatalf("NewTone: %+v", s)
+	}
+	s2 := NewTwoTone(1e6, 1.1e6, 0.3)
+	if len(s2.Tones) != 2 || s2.Tones[1].Freq != 1.1e6 {
+		t.Fatalf("NewTwoTone: %+v", s2)
+	}
+	s3 := NewMultiTone(0.2, 1e3, 2e3, 3e3)
+	if len(s3.Tones) != 3 {
+		t.Fatalf("NewMultiTone: %+v", s3)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := NewTwoTone(1, 2, 0.5)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid signal rejected: %v", err)
+	}
+	bad := []Signal{
+		{Tones: []Tone{{Freq: -1, Amp: 1}}},
+		{Tones: []Tone{{Freq: 1, Amp: -1}}},
+		{NoiseRMS: -0.1},
+		{AmpAccuracy: -0.01},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad signal %d accepted", i)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := NewTwoTone(1, 2, 0.5).AddSpur(3, 0.1)
+	c := s.Clone()
+	c.Tones[0].Amp = 99
+	c.Spurs[0].Amp = 99
+	if s.Tones[0].Amp == 99 || s.Spurs[0].Amp == 99 {
+		t.Fatal("Clone shares backing arrays")
+	}
+}
+
+func TestPeakAmplitudeAndPower(t *testing.T) {
+	s := NewTwoTone(1e6, 2e6, 0.4)
+	s.DC = -0.1
+	if got := s.PeakAmplitude(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("PeakAmplitude = %g, want 0.9", got)
+	}
+	if got := s.SignalPower(); math.Abs(got-0.16) > 1e-12 {
+		t.Errorf("SignalPower = %g, want 0.16", got)
+	}
+}
+
+func TestSNRAndSNDR(t *testing.T) {
+	s := NewTone(1e6, 1.0)
+	s.NoiseRMS = 0.01
+	// SNR = 10log10(0.5/1e-4) = 36.99 dB
+	if got := s.SNR(); math.Abs(got-36.9897) > 1e-3 {
+		t.Errorf("SNR = %g", got)
+	}
+	s = s.AddSpur(3e6, 0.1)
+	if s.SNDR() >= s.SNR() {
+		t.Errorf("SNDR %g should be below SNR %g once spurs exist", s.SNDR(), s.SNR())
+	}
+	clean := NewTone(1, 1)
+	if !math.IsInf(clean.SNR(), 1) || !math.IsInf(clean.SNDR(), 1) {
+		t.Error("noiseless signal should have infinite SNR/SNDR")
+	}
+}
+
+func TestSFDR(t *testing.T) {
+	s := NewTone(1e6, 1.0)
+	if !math.IsInf(s.SFDR(), 1) {
+		t.Error("no spurs -> +inf SFDR")
+	}
+	s = s.AddSpur(2e6, 0.001)
+	if got := s.SFDR(); math.Abs(got-60) > 1e-9 {
+		t.Errorf("SFDR = %g, want 60", got)
+	}
+	empty := Signal{}
+	if !math.IsInf(empty.SFDR(), -1) {
+		t.Error("toneless signal should have -inf SFDR")
+	}
+}
+
+func TestScale(t *testing.T) {
+	s := NewTone(1e6, 0.5)
+	s.DC = 0.2
+	s.NoiseRMS = 0.01
+	s = s.AddSpur(2e6, 0.05)
+	g := s.Scale(-2)
+	if math.Abs(g.Tones[0].Amp-1.0) > 1e-12 {
+		t.Errorf("tone amp after scale = %g", g.Tones[0].Amp)
+	}
+	if math.Abs(g.DC-(-0.4)) > 1e-12 {
+		t.Errorf("DC after scale = %g, want -0.4 (signed)", g.DC)
+	}
+	if math.Abs(g.NoiseRMS-0.02) > 1e-12 {
+		t.Errorf("noise after scale = %g", g.NoiseRMS)
+	}
+	if math.Abs(g.Spurs[0].Amp-0.1) > 1e-12 {
+		t.Errorf("spur after scale = %g", g.Spurs[0].Amp)
+	}
+	// Original untouched (value semantics).
+	if s.Tones[0].Amp != 0.5 {
+		t.Error("Scale mutated the receiver")
+	}
+}
+
+func TestScaleWithToleranceAccumulatesRSS(t *testing.T) {
+	s := NewTone(1e6, 1)
+	s = s.ScaleWithTolerance(2, 0.03)
+	s = s.ScaleWithTolerance(3, 0.04)
+	if math.Abs(s.AmpAccuracy-0.05) > 1e-12 {
+		t.Errorf("accuracy = %g, want RSS(0.03,0.04)=0.05", s.AmpAccuracy)
+	}
+	if math.Abs(s.Tones[0].Amp-6) > 1e-12 {
+		t.Errorf("amp = %g, want 6", s.Tones[0].Amp)
+	}
+}
+
+func TestAddNoisePowersAdd(t *testing.T) {
+	s := NewTone(1, 1).AddNoise(0.003).AddNoise(0.004)
+	if math.Abs(s.NoiseRMS-0.005) > 1e-12 {
+		t.Errorf("noise = %g, want 0.005", s.NoiseRMS)
+	}
+}
+
+func TestAddDC(t *testing.T) {
+	s := NewTone(1, 1).AddDC(0.1, 0.03).AddDC(-0.04, 0.04)
+	if math.Abs(s.DC-0.06) > 1e-12 {
+		t.Errorf("DC = %g", s.DC)
+	}
+	if math.Abs(s.DCAccuracy-0.05) > 1e-12 {
+		t.Errorf("DC accuracy = %g, want 0.05", s.DCAccuracy)
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	s := NewTwoTone(100e6, 101e6, 0.5).AddSpur(102e6, 0.01)
+	d := s.Translate(-90e6, 1e-5)
+	if math.Abs(d.Tones[0].Freq-10e6) > 1e-3 || math.Abs(d.Tones[1].Freq-11e6) > 1e-3 {
+		t.Errorf("translated tones: %+v", d.Tones)
+	}
+	if math.Abs(d.Spurs[0].Freq-12e6) > 1e-3 {
+		t.Errorf("translated spur: %+v", d.Spurs)
+	}
+	if d.FreqAccuracy != 1e-5 {
+		t.Errorf("freq accuracy = %g", d.FreqAccuracy)
+	}
+	// Folding across zero.
+	f := NewTone(10e6, 1).Translate(-15e6, 0)
+	if math.Abs(f.Tones[0].Freq-5e6) > 1e-3 {
+		t.Errorf("folded frequency = %g, want 5e6", f.Tones[0].Freq)
+	}
+}
+
+func TestShiftPhase(t *testing.T) {
+	s := NewTone(1e6, 1).ShiftPhase(0.5, 0.01).ShiftPhase(0.25, 0.01)
+	if math.Abs(s.Tones[0].Phase-0.75) > 1e-12 {
+		t.Errorf("phase = %g", s.Tones[0].Phase)
+	}
+	want := math.Sqrt(2) * 0.01
+	if math.Abs(s.PhaseAccuracy-want) > 1e-12 {
+		t.Errorf("phase accuracy = %g, want %g", s.PhaseAccuracy, want)
+	}
+}
+
+func TestMinDetectableAmplitude(t *testing.T) {
+	s := NewTone(1e6, 1)
+	s.NoiseRMS = 0.01
+	// Full band, 0 dB margin: A = σ·√2.
+	got := s.MinDetectableAmplitude(0, 1e6, 1e6)
+	if math.Abs(got-0.01*math.Sqrt2) > 1e-12 {
+		t.Errorf("MDA = %g", got)
+	}
+	// Narrower measurement bandwidth lowers the bar.
+	narrow := s.MinDetectableAmplitude(0, 1e4, 1e6)
+	if narrow >= got {
+		t.Errorf("narrowband MDA %g should be < wideband %g", narrow, got)
+	}
+	if s.MinDetectableAmplitude(0, 0, 1e6) != 0 || s.MinDetectableAmplitude(0, 1e4, 0) != 0 {
+		t.Error("degenerate bandwidths should give 0")
+	}
+}
+
+func TestRenderMatchesAttributes(t *testing.T) {
+	fs := 1e6
+	n := 4096
+	f := 37 * fs / float64(n)
+	s := NewTone(f, 0.8)
+	s.DC = 0.25
+	x := s.Render(n, fs, nil)
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	if math.Abs(mean-0.25) > 1e-9 {
+		t.Errorf("rendered DC = %g", mean)
+	}
+	var ms float64
+	for _, v := range x {
+		ms += (v - mean) * (v - mean)
+	}
+	ms /= float64(n)
+	if math.Abs(ms-0.32) > 1e-9 { // A²/2 = 0.32
+		t.Errorf("rendered AC power = %g, want 0.32", ms)
+	}
+}
+
+func TestRenderNoise(t *testing.T) {
+	s := Signal{NoiseRMS: 0.1}
+	rng := rand.New(rand.NewSource(9))
+	x := s.Render(100000, 1e6, rng)
+	var ms float64
+	for _, v := range x {
+		ms += v * v
+	}
+	rms := math.Sqrt(ms / float64(len(x)))
+	if math.Abs(rms-0.1) > 0.003 {
+		t.Errorf("rendered noise RMS = %g, want ~0.1", rms)
+	}
+	// Without an RNG, noise is omitted.
+	clean := s.Render(100, 1e6, nil)
+	for _, v := range clean {
+		if v != 0 {
+			t.Fatal("nil-RNG render should be noiseless")
+		}
+	}
+}
+
+func TestFrequenciesSorted(t *testing.T) {
+	s := NewMultiTone(1, 5, 1, 3)
+	fs := s.Frequencies()
+	if fs[0] != 1 || fs[1] != 3 || fs[2] != 5 {
+		t.Errorf("Frequencies = %v", fs)
+	}
+}
+
+func TestStringMentionsComponents(t *testing.T) {
+	s := NewTone(1e6, 0.5)
+	s.DC = 0.1
+	s.NoiseRMS = 0.01
+	s.AmpAccuracy = 0.05
+	s = s.AddSpur(2e6, 0.01)
+	str := s.String()
+	for _, want := range []string{"1e+06Hz", "dc=", "noise=", "spurs", "amp"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+func TestScalePropertyPowerScalesAsGainSquared(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewTwoTone(1e6, 2e6, math.Abs(r.NormFloat64())+0.1)
+		g := r.NormFloat64()
+		if g == 0 {
+			g = 1
+		}
+		scaled := s.Scale(g)
+		want := s.SignalPower() * g * g
+		return math.Abs(scaled.SignalPower()-want) < 1e-9*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslateThenScaleCommutesOnPower(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewTone(50e6+r.Float64()*1e6, 0.5)
+		a := s.Translate(-40e6, 1e-5).Scale(2)
+		b := s.Scale(2).Translate(-40e6, 1e-5)
+		return math.Abs(a.SignalPower()-b.SignalPower()) < 1e-12 &&
+			math.Abs(a.Tones[0].Freq-b.Tones[0].Freq) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

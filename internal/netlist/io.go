@@ -1,0 +1,228 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Write serializes the circuit in the textual netlist format:
+//
+//	# comment
+//	input <name>
+//	dff <q>
+//	<GATE> <out> <in> [<in> ...]
+//	bind <q> <d>
+//	output <net> [<label>]
+//
+// Net names are the circuit's declared names (Name). Flip-flops are
+// declared up front (their Q nets may feed gates) and bound to their
+// D nets at the end, allowing feedback. The format round-trips
+// through Read.
+func Write(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# netlist: %s\n", c.Stats())
+	for _, n := range c.Inputs {
+		fmt.Fprintf(bw, "input %s\n", c.Name(n))
+	}
+	for _, ff := range c.FFs {
+		fmt.Fprintf(bw, "dff %s\n", c.Name(ff.Q))
+	}
+	for _, g := range c.Gates {
+		fmt.Fprintf(bw, "%s %s", g.Type, c.Name(g.Out))
+		for _, in := range g.In {
+			fmt.Fprintf(bw, " %s", c.Name(in))
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, ff := range c.FFs {
+		if ff.bound {
+			fmt.Fprintf(bw, "bind %s %s\n", c.Name(ff.Q), c.Name(ff.D))
+		}
+	}
+	for _, n := range c.Outputs {
+		fmt.Fprintf(bw, "output %s\n", c.Name(n))
+	}
+	return bw.Flush()
+}
+
+// gateTypeByName maps the serialized names back to gate types.
+var gateTypeByName = map[string]GateType{
+	"AND": And, "OR": Or, "NAND": Nand, "NOR": Nor,
+	"XOR": Xor, "XNOR": Xnor, "NOT": Not, "BUF": Buf,
+	"CONST0": Const0, "CONST1": Const1,
+}
+
+// Read parses the textual netlist format produced by Write and
+// returns the reconstructed circuit. The result is validated.
+func Read(r io.Reader) (*Circuit, error) {
+	c := New()
+	nets := make(map[string]NetID)
+	resolve := func(name string, line int) (NetID, error) {
+		n, ok := nets[name]
+		if !ok {
+			return 0, fmt.Errorf("netlist: line %d: unknown net %q", line, name)
+		}
+		return n, nil
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch strings.ToLower(fields[0]) {
+		case "input":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist: line %d: input wants one name", lineNo)
+			}
+			if _, dup := nets[fields[1]]; dup {
+				return nil, fmt.Errorf("netlist: line %d: duplicate net %q", lineNo, fields[1])
+			}
+			nets[fields[1]] = c.Input(fields[1])
+		case "dff":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist: line %d: dff wants one name", lineNo)
+			}
+			if _, dup := nets[fields[1]]; dup {
+				return nil, fmt.Errorf("netlist: line %d: duplicate net %q", lineNo, fields[1])
+			}
+			q := c.DFF()
+			c.SetName(q, fields[1])
+			nets[fields[1]] = q
+		case "bind":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("netlist: line %d: bind wants <q> <d>", lineNo)
+			}
+			q, err := resolve(fields[1], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			d, err := resolve(fields[2], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.SetD(q, d); err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", lineNo, err)
+			}
+		case "output":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist: line %d: output wants one net", lineNo)
+			}
+			n, err := resolve(fields[1], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			c.MarkOutput(n, fields[1])
+		default:
+			gt, ok := gateTypeByName[strings.ToUpper(fields[0])]
+			if !ok {
+				return nil, fmt.Errorf("netlist: line %d: unknown gate %q", lineNo, fields[0])
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("netlist: line %d: gate wants an output net", lineNo)
+			}
+			outName := fields[1]
+			if _, dup := nets[outName]; dup {
+				return nil, fmt.Errorf("netlist: line %d: net %q driven twice", lineNo, outName)
+			}
+			ins := make([]NetID, 0, len(fields)-2)
+			for _, name := range fields[2:] {
+				n, err := resolve(name, lineNo)
+				if err != nil {
+					return nil, err
+				}
+				ins = append(ins, n)
+			}
+			lo, hi := gt.arity()
+			if len(ins) < lo || (hi >= 0 && len(ins) > hi) {
+				return nil, fmt.Errorf("netlist: line %d: %s with %d inputs", lineNo, fields[0], len(ins))
+			}
+			var out NetID
+			if gt == Const0 {
+				out = c.Const(false)
+			} else if gt == Const1 {
+				out = c.Const(true)
+			} else {
+				out = c.addGate(gt, ins...)
+			}
+			nets[outName] = out
+			c.SetName(out, outName)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, fmt.Errorf("netlist: parsed circuit invalid: %w", err)
+	}
+	return c, nil
+}
+
+// Equivalent checks functional equivalence of two circuits by
+// exhaustive simulation up to maxInputs primary inputs (beyond that it
+// refuses rather than silently sampling). Inputs and outputs are
+// matched positionally.
+func Equivalent(a, b *Circuit, maxInputs int) (bool, error) {
+	if len(a.Inputs) != len(b.Inputs) || len(a.Outputs) != len(b.Outputs) {
+		return false, nil
+	}
+	n := len(a.Inputs)
+	if n > maxInputs {
+		return false, fmt.Errorf("netlist: %d inputs exceeds exhaustive limit %d", n, maxInputs)
+	}
+	sa := NewSimulator(a)
+	sb := NewSimulator(b)
+	// 64 patterns per pass.
+	total := 1 << uint(n)
+	for base := 0; base < total; base += 64 {
+		wordsA := make([]uint64, n)
+		for lane := 0; lane < 64 && base+lane < total; lane++ {
+			v := base + lane
+			for i := 0; i < n; i++ {
+				if v>>uint(i)&1 == 1 {
+					wordsA[i] |= 1 << uint(lane)
+				}
+			}
+		}
+		outA, err := sa.Run(wordsA)
+		if err != nil {
+			return false, err
+		}
+		outB, err := sb.Run(wordsA)
+		if err != nil {
+			return false, err
+		}
+		lanes := total - base
+		if lanes > 64 {
+			lanes = 64
+		}
+		mask := ^uint64(0)
+		if lanes < 64 {
+			mask = 1<<uint(lanes) - 1
+		}
+		for i := range outA {
+			if (outA[i]^outB[i])&mask != 0 {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// SortedNetNames returns all declared net names in order — a helper
+// for diffing two netlists textually.
+func (c *Circuit) SortedNetNames() []string {
+	names := make([]string, 0, len(c.names))
+	for _, s := range c.names {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	return names
+}

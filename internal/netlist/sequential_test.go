@@ -1,0 +1,203 @@
+package netlist
+
+import (
+	"testing"
+)
+
+// buildShiftRegister builds a 3-stage shift register: in -> q0 -> q1
+// -> q2, outputting q2.
+func buildShiftRegister(t *testing.T) (*Circuit, NetID) {
+	t.Helper()
+	c := New()
+	in := c.Input("in")
+	q0 := c.DFF()
+	q1 := c.DFF()
+	q2 := c.DFF()
+	if err := c.SetD(q0, in); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetD(q1, q0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetD(q2, q1); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkOutput(q2, "out")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c, q1
+}
+
+func TestShiftRegister(t *testing.T) {
+	c, _ := buildShiftRegister(t)
+	sim, err := NewSequentialSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := []uint64{1, 0, 1, 1, 0, 0, 1}
+	var got []uint64
+	for _, v := range seq {
+		out, err := sim.Step([]uint64{v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, out[0]&1)
+	}
+	// Output is the input delayed by 3 cycles (state presented before
+	// the clock edge).
+	want := []uint64{0, 0, 0, 1, 0, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cycle %d: out %d, want %d (full %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSequentialReset(t *testing.T) {
+	c, _ := buildShiftRegister(t)
+	sim, err := NewSequentialSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := sim.Step([]uint64{^uint64(0)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.Reset()
+	out, err := sim.Step([]uint64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 0 {
+		t.Fatal("state survived Reset")
+	}
+}
+
+func TestSequentialFaultOnQ(t *testing.T) {
+	c, q1 := buildShiftRegister(t)
+	sim, err := NewSequentialSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SA1 on the middle register's output in lane 1.
+	if err := sim.InjectFault(Fault{Net: q1, Stuck: StuckAt1}, 1<<1); err != nil {
+		t.Fatal(err)
+	}
+	// Feed zeros: good lane stays 0, faulty lane leaks 1s after two
+	// cycles (q1 forced high -> q2 loads it).
+	var lane0, lane1 uint64
+	for i := 0; i < 4; i++ {
+		out, err := sim.Step([]uint64{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lane0 |= out[0] & 1
+		lane1 = out[0] >> 1 & 1
+	}
+	if lane0 != 0 {
+		t.Fatal("good lane perturbed")
+	}
+	if lane1 != 1 {
+		t.Fatal("Q fault not observed")
+	}
+}
+
+func TestSequentialFeedback(t *testing.T) {
+	// Toggle flip-flop: q -> NOT -> d. Output alternates.
+	c := New()
+	q := c.DFF()
+	d := c.Not(q)
+	if err := c.SetD(q, d); err != nil {
+		t.Fatal(err)
+	}
+	c.MarkOutput(q, "q")
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSequentialSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{0, 1, 0, 1, 0}
+	for i, w := range want {
+		out, err := sim.Step(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0]&1 != w {
+			t.Fatalf("cycle %d: %d, want %d", i, out[0]&1, w)
+		}
+	}
+}
+
+func TestSequentialValidation(t *testing.T) {
+	// Unbound FF fails.
+	c := New()
+	c.DFF()
+	if _, err := NewSequentialSimulator(c); err == nil {
+		t.Fatal("unbound FF accepted")
+	}
+	// SetD on a non-FF net fails.
+	c2 := New()
+	in := c2.Input("in")
+	if err := c2.SetD(in, in); err == nil {
+		t.Fatal("SetD on non-FF accepted")
+	}
+	// Double bind fails.
+	c3 := New()
+	q := c3.DFF()
+	in3 := c3.Input("in")
+	if err := c3.SetD(q, in3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c3.SetD(q, in3); err == nil {
+		t.Fatal("double SetD accepted")
+	}
+	// Unknown D net fails.
+	c4 := New()
+	q4 := c4.DFF()
+	if err := c4.SetD(q4, NetID(99)); err == nil {
+		t.Fatal("unknown D accepted")
+	}
+	// Step input count mismatch.
+	c5, _ := buildShiftRegister(t)
+	sim, err := NewSequentialSimulator(c5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Step(nil); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+}
+
+func TestAllFaultsIncludesFFOutputs(t *testing.T) {
+	c, _ := buildShiftRegister(t)
+	faults := AllFaults(c)
+	// 1 PI + 3 Q nets = 4 nets, 8 faults (no gates).
+	if len(faults) != 8 {
+		t.Fatalf("faults = %d, want 8", len(faults))
+	}
+	if c.NumFFs() != 3 {
+		t.Fatalf("NumFFs = %d", c.NumFFs())
+	}
+}
+
+func TestSequentialValueInspection(t *testing.T) {
+	c, q1 := buildShiftRegister(t)
+	sim, err := NewSequentialSimulator(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []uint64{^uint64(0), 0, 0} {
+		if _, err := sim.Step([]uint64{in}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Value reflects the net as presented during the latest cycle:
+	// the first input reaches q1's presentation on the third step.
+	if sim.Value(q1) != ^uint64(0) {
+		t.Fatalf("Value(q1) = %x", sim.Value(q1))
+	}
+}

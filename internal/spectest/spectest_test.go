@@ -1,0 +1,215 @@
+package spectest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mstx/internal/digital"
+	"mstx/internal/dsp"
+	"mstx/internal/fault"
+	"mstx/internal/netlist"
+)
+
+// buildFilterAndRecords builds a small gate-level FIR, an ideal
+// stimulus record, the good output, and a noisy-input good output.
+func buildFilterAndRecords(t testing.TB, n int) (*digital.FIR, []int64, []int64, []int64, []float64, float64) {
+	t.Helper()
+	fir, err := digital.NewFIR([]int64{7, 15, 22, 15, 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := 1e6
+	f1 := dsp.CoherentBin(fs, n, 37)
+	f2 := dsp.CoherentBin(fs, n, 53)
+	ideal := make([]int64, n)
+	noisy := make([]int64, n)
+	rng := rand.New(rand.NewSource(90))
+	for i := range ideal {
+		ti := float64(i) / fs
+		v := 45*math.Cos(2*math.Pi*f1*ti) + 45*math.Cos(2*math.Pi*f2*ti)
+		ideal[i] = int64(math.Round(v))
+		noisy[i] = int64(math.Round(v + rng.NormFloat64()*1.5))
+	}
+	sim := digital.NewFIRSim(fir)
+	goodIdeal, err := sim.RunPeriodic(ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim2 := digital.NewFIRSim(fir)
+	goodNoisy, err := sim2.RunPeriodic(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fir, ideal, goodIdeal, goodNoisy, []float64{f1, f2}, fs
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	if _, err := NewDetector(nil, 1e6, nil, 1, 0, 0); err == nil {
+		t.Error("empty reference accepted")
+	}
+	if _, err := NewDetector([]int64{1}, 0, nil, 1, 0, 0); err == nil {
+		t.Error("zero sample rate accepted")
+	}
+	if _, err := NewDetector([]int64{1}, 1e6, nil, -1, 0, 0); err == nil {
+		t.Error("negative guard accepted")
+	}
+}
+
+func TestHealthyNoisyDevicePasses(t *testing.T) {
+	_, _, goodIdeal, goodNoisy, tones, fs := buildFilterAndRecords(t, 1024)
+	det, err := NewDetector(goodIdeal, fs, tones, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.CalibrateFloor(goodNoisy, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if det.FloorPower <= 0 {
+		t.Fatal("floor not calibrated")
+	}
+	// The noisy-but-healthy record must not be flagged: yield.
+	if det.Detect(goodIdeal, goodNoisy) {
+		t.Error("healthy noisy device flagged as faulty")
+	}
+	if det.ComparedBins() <= 0 {
+		t.Error("no compared bins")
+	}
+	if db := det.FloorDBFS(); db > -20 {
+		t.Errorf("floor at %g dBFS — implausibly high", db)
+	}
+}
+
+func TestGrossFaultDetected(t *testing.T) {
+	fir, ideal, goodIdeal, goodNoisy, tones, fs := buildFilterAndRecords(t, 1024)
+	det, err := NewDetector(goodIdeal, fs, tones, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.CalibrateFloor(goodNoisy, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	// Stuck-at on a high output bit: gross periodic distortion.
+	sim := digital.NewFIRSim(fir)
+	hiBit := fir.OutBus[len(fir.OutBus)-3]
+	if err := sim.InjectFault(netlist.Fault{Net: hiBit, Stuck: netlist.StuckAt1}, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := sim.RunPeriodic(ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det.Detect(goodIdeal, faulty) {
+		t.Error("gross fault escaped the spectral test")
+	}
+}
+
+func TestTinyFaultBelowFloorEscapes(t *testing.T) {
+	fir, ideal, goodIdeal, _, tones, fs := buildFilterAndRecords(t, 1024)
+	det, err := NewDetector(goodIdeal, fs, tones, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Artificially high floor: even an LSB fault must escape.
+	det.FloorPower = 1e6
+	sim := digital.NewFIRSim(fir)
+	if err := sim.InjectFault(netlist.Fault{Net: fir.OutBus[0], Stuck: netlist.StuckAt1}, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := sim.RunPeriodic(ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det.Detect(goodIdeal, faulty) {
+		t.Error("LSB fault detected despite a floor far above it")
+	}
+}
+
+func TestCoverageDropsWithNoiseFloorAndRecoversWithPatterns(t *testing.T) {
+	// The paper's E8 shape at miniature scale: exact detection >
+	// spectral with floor; and a longer record recovers some faults.
+	if testing.Short() {
+		t.Skip("coverage sweep skipped in -short")
+	}
+	runCampaign := func(n int, floorScale float64) float64 {
+		fir, ideal, goodIdeal, goodNoisy, tones, fs := buildFilterAndRecords(t, n)
+		u := fault.NewUniverse(fir, true)
+		det, err := NewDetector(goodIdeal, fs, tones, 2, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := det.CalibrateFloor(goodNoisy, floorScale); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := fault.Simulate(u, ideal, det)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Coverage()
+	}
+	exactCoverage := func(n int) float64 {
+		fir, ideal, _, _, _, _ := buildFilterAndRecords(t, n)
+		u := fault.NewUniverse(fir, true)
+		rep, err := fault.Simulate(u, ideal, fault.ExactDetector{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Coverage()
+	}
+	exact := exactCoverage(1024)
+	spectral := runCampaign(1024, 40) // generous floor: faults escape
+	longer := runCampaign(4096, 40)
+	if spectral >= exact {
+		t.Errorf("spectral coverage %.1f%% should drop below exact %.1f%%", spectral, exact)
+	}
+	if longer < spectral {
+		t.Errorf("more patterns lowered coverage: %.1f%% -> %.1f%%", spectral, longer)
+	}
+}
+
+func TestDeviationLengthMismatch(t *testing.T) {
+	_, _, goodIdeal, _, tones, fs := buildFilterAndRecords(t, 512)
+	det, err := NewDetector(goodIdeal, fs, tones, 2, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := det.Deviation(make([]int64, 100)); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if det.Detect(nil, make([]int64, 100)) {
+		t.Error("mismatched record detected as faulty")
+	}
+}
+
+func TestCalibrateFloorValidation(t *testing.T) {
+	_, _, goodIdeal, goodNoisy, tones, fs := buildFilterAndRecords(t, 512)
+	det, err := NewDetector(goodIdeal, fs, tones, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.CalibrateFloor(goodNoisy, 0.5); err == nil {
+		t.Error("safety < 1 accepted")
+	}
+	if err := det.CalibrateFloor(make([]int64, 100), 2); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestGuardBinsExcludeTones(t *testing.T) {
+	_, _, goodIdeal, _, tones, fs := buildFilterAndRecords(t, 512)
+	det, err := NewDetector(goodIdeal, fs, tones, 3, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range tones {
+		k := det.ref.Bin(f)
+		for i := k - 3; i <= k+3; i++ {
+			if !det.excluded[i] {
+				t.Errorf("bin %d near tone %g not excluded", i, f)
+			}
+		}
+	}
+	if !det.excluded[0] {
+		t.Error("DC not excluded")
+	}
+}

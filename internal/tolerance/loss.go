@@ -1,0 +1,257 @@
+package tolerance
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BoundKind says which side(s) of the spec limit a parameter must stay
+// on to be acceptable.
+type BoundKind int
+
+const (
+	// LowerBound: the part is good iff p >= Lo (e.g. IIP3, P1dB —
+	// bigger is better).
+	LowerBound BoundKind = iota
+	// UpperBound: the part is good iff p <= Hi (e.g. noise figure,
+	// offset magnitude — smaller is better).
+	UpperBound
+	// TwoSided: the part is good iff Lo <= p <= Hi (e.g. cut-off
+	// frequency, gain — must sit in a band).
+	TwoSided
+)
+
+// String names the bound kind.
+func (k BoundKind) String() string {
+	switch k {
+	case LowerBound:
+		return "lower-bound"
+	case UpperBound:
+		return "upper-bound"
+	case TwoSided:
+		return "two-sided"
+	default:
+		return fmt.Sprintf("BoundKind(%d)", int(k))
+	}
+}
+
+// SpecLimit is the acceptance region for a parameter's true value.
+type SpecLimit struct {
+	Kind   BoundKind
+	Lo, Hi float64
+}
+
+// LowerLimit returns a lower-bound spec p >= lo.
+func LowerLimit(lo float64) SpecLimit { return SpecLimit{Kind: LowerBound, Lo: lo} }
+
+// UpperLimit returns an upper-bound spec p <= hi.
+func UpperLimit(hi float64) SpecLimit { return SpecLimit{Kind: UpperBound, Hi: hi} }
+
+// BandLimit returns a two-sided spec lo <= p <= hi.
+func BandLimit(lo, hi float64) SpecLimit { return SpecLimit{Kind: TwoSided, Lo: lo, Hi: hi} }
+
+// Acceptable reports whether true value p meets the spec.
+func (s SpecLimit) Acceptable(p float64) bool {
+	switch s.Kind {
+	case LowerBound:
+		return p >= s.Lo
+	case UpperBound:
+		return p <= s.Hi
+	default:
+		return p >= s.Lo && p <= s.Hi
+	}
+}
+
+// Shifted returns the acceptance region with its limits moved by
+// delta in the *loosening* direction when delta > 0 (more parts
+// accepted) and the tightening direction when delta < 0 (fewer parts
+// accepted). This is the paper's "Thr = Tol ± Err" knob: tightening by
+// the worst-case computation error drives FCL to zero at the cost of
+// yield; loosening drives YL to zero at the cost of coverage.
+func (s SpecLimit) Shifted(delta float64) SpecLimit {
+	out := s
+	switch s.Kind {
+	case LowerBound:
+		out.Lo -= delta
+	case UpperBound:
+		out.Hi += delta
+	default:
+		out.Lo -= delta
+		out.Hi += delta
+	}
+	return out
+}
+
+// LossEstimate is the outcome of a loss computation.
+type LossEstimate struct {
+	// FCL is the fault-coverage loss: the fraction of out-of-spec
+	// parts the test accepts (escapes / faulty population).
+	FCL float64
+	// YL is the yield loss: the fraction of in-spec parts the test
+	// rejects (overkill / good population).
+	YL float64
+	// GoodFraction is the fraction of the population that is in spec.
+	GoodFraction float64
+	// Samples is the Monte-Carlo sample count (0 for analytic results).
+	Samples int
+}
+
+// String formats the estimate as percentages.
+func (l LossEstimate) String() string {
+	return fmt.Sprintf("FCL=%.2f%% YL=%.2f%%", l.FCL*100, l.YL*100)
+}
+
+// MonteCarloLosses estimates FCL and YL by sampling: the true
+// parameter is drawn from pDist, the measured value adds a draw from
+// errDist, the part truly passes per spec, and the tester accepts per
+// testLimit (usually spec.Shifted(±err)).
+func MonteCarloLosses(pDist, errDist Normal, spec, testLimit SpecLimit, n int, rng *rand.Rand) (LossEstimate, error) {
+	if n <= 0 {
+		return LossEstimate{}, fmt.Errorf("tolerance: sample count %d must be positive", n)
+	}
+	if rng == nil {
+		return LossEstimate{}, fmt.Errorf("tolerance: nil RNG")
+	}
+	var nGood, nBad, overkill, escapes int
+	for i := 0; i < n; i++ {
+		p := pDist.Sample(rng)
+		m := p + errDist.Sample(rng)
+		good := spec.Acceptable(p)
+		accept := testLimit.Acceptable(m)
+		switch {
+		case good && !accept:
+			nGood++
+			overkill++
+		case good:
+			nGood++
+		case !good && accept:
+			nBad++
+			escapes++
+		default:
+			nBad++
+		}
+	}
+	est := LossEstimate{Samples: n, GoodFraction: float64(nGood) / float64(n)}
+	if nGood > 0 {
+		est.YL = float64(overkill) / float64(nGood)
+	}
+	if nBad > 0 {
+		est.FCL = float64(escapes) / float64(nBad)
+	}
+	return est, nil
+}
+
+// AnalyticLosses computes the same quantities by numeric integration
+// over the true-parameter density (Simpson's rule over ±10σ):
+//
+//	FCL = ∫_{p bad} f(p)·P(accept | p) dp / ∫_{p bad} f(p) dp
+//	YL  = ∫_{p good} f(p)·P(reject | p) dp / ∫_{p good} f(p) dp
+//
+// where P(accept | p) follows from the Gaussian error CDF.
+func AnalyticLosses(pDist, errDist Normal, spec, testLimit SpecLimit) LossEstimate {
+	acceptProb := func(p float64) float64 {
+		// m = p + e must fall in the test-accept region.
+		if errDist.Sigma == 0 {
+			// Error-free measurement: the decision is deterministic,
+			// with the spec's closed (>=, <=) boundary semantics.
+			if testLimit.Acceptable(p + errDist.Mean) {
+				return 1
+			}
+			return 0
+		}
+		e := Normal{Mean: p, Sigma: errDist.Sigma}
+		// Shift by the error's mean (usually zero).
+		e.Mean += errDist.Mean
+		switch testLimit.Kind {
+		case LowerBound:
+			return 1 - e.CDF(testLimit.Lo)
+		case UpperBound:
+			return e.CDF(testLimit.Hi)
+		default:
+			return e.CDF(testLimit.Hi) - e.CDF(testLimit.Lo)
+		}
+	}
+	const steps = 4000
+	lo := pDist.Mean - 10*pDist.Sigma
+	hi := pDist.Mean + 10*pDist.Sigma
+	h := (hi - lo) / steps
+	var goodMass, badMass, overkillMass, escapeMass float64
+	for i := 0; i <= steps; i++ {
+		p := lo + float64(i)*h
+		wgt := simpsonWeight(i, steps) * h / 3
+		f := pDist.PDF(p) * wgt
+		acc := acceptProb(p)
+		if spec.Acceptable(p) {
+			goodMass += f
+			overkillMass += f * (1 - acc)
+		} else {
+			badMass += f
+			escapeMass += f * acc
+		}
+	}
+	est := LossEstimate{GoodFraction: goodMass}
+	if goodMass > 0 {
+		est.YL = overkillMass / goodMass
+	}
+	if badMass > 0 {
+		est.FCL = escapeMass / badMass
+	}
+	return est
+}
+
+func simpsonWeight(i, n int) float64 {
+	switch {
+	case i == 0 || i == n:
+		return 1
+	case i%2 == 1:
+		return 4
+	default:
+		return 2
+	}
+}
+
+// ThresholdRow is one column set of the paper's Table 2: the losses at
+// a particular threshold choice.
+type ThresholdRow struct {
+	// Label identifies the threshold ("Tol", "Tol-Err", "Tol+Err").
+	Label string
+	// Losses holds the estimate at this threshold.
+	Losses LossEstimate
+}
+
+// ThresholdSweep reproduces the Table 2 structure for one parameter:
+// losses with the test threshold at the spec limit, tightened by the
+// worst-case error (FCL → 0), and loosened by it (YL → 0). err is the
+// worst-case computation error (the paper's "Err"); errSigma is the
+// 1σ of the actual error distribution (err is typically ~3σ).
+func ThresholdSweep(pDist Normal, errSigma, err float64, spec SpecLimit) []ThresholdRow {
+	errDist := Normal{Sigma: errSigma}
+	return []ThresholdRow{
+		{Label: "Tol", Losses: AnalyticLosses(pDist, errDist, spec, spec)},
+		{Label: "Tol-Err", Losses: AnalyticLosses(pDist, errDist, spec, spec.Shifted(-err))},
+		{Label: "Tol+Err", Losses: AnalyticLosses(pDist, errDist, spec, spec.Shifted(+err))},
+	}
+}
+
+// DistributionCurve samples the parameter pdf for plotting Figure 2:
+// it returns (x, pdf(x)) pairs over ±span·σ around the mean.
+func DistributionCurve(pDist Normal, points int, span float64) (xs, ys []float64) {
+	if points < 2 {
+		points = 2
+	}
+	xs = make([]float64, points)
+	ys = make([]float64, points)
+	lo := pDist.Mean - span*pDist.Sigma
+	hi := pDist.Mean + span*pDist.Sigma
+	for i := range xs {
+		x := lo + (hi-lo)*float64(i)/float64(points-1)
+		xs[i] = x
+		ys[i] = pDist.PDF(x)
+	}
+	return xs, ys
+}
+
+// ErrRoundingNote: the worst-case error used to shift thresholds is
+// conventionally 3σ of the measurement error; WorstCaseErr packages
+// that convention.
+func WorstCaseErr(errSigma float64) float64 { return 3 * errSigma }

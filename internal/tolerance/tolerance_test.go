@@ -1,0 +1,284 @@
+package tolerance
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructors(t *testing.T) {
+	v := Abs(10, -0.5)
+	if v.Nominal != 10 || v.Sigma != 0.5 {
+		t.Fatalf("Abs: %+v", v)
+	}
+	r := Rel(20, 0.05)
+	if r.Sigma != 1 {
+		t.Fatalf("Rel sigma = %g", r.Sigma)
+	}
+	if got := r.RelSigma(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("RelSigma = %g", got)
+	}
+	if got := Abs(0, 1).RelSigma(); got != 0 {
+		t.Errorf("RelSigma at zero nominal = %g", got)
+	}
+	if !strings.Contains(v.String(), "±") {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestValueSampleStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	v := Abs(5, 0.2)
+	n := 50000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := v.Sample(rng)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean-5) > 0.01 {
+		t.Errorf("sample mean = %g", mean)
+	}
+	if math.Abs(std-0.2) > 0.01 {
+		t.Errorf("sample std = %g", std)
+	}
+}
+
+func TestNormalPDFCDF(t *testing.T) {
+	n := Normal{Mean: 0, Sigma: 1}
+	if math.Abs(n.CDF(0)-0.5) > 1e-12 {
+		t.Errorf("CDF(0) = %g", n.CDF(0))
+	}
+	if math.Abs(n.CDF(1.959964)-0.975) > 1e-4 {
+		t.Errorf("CDF(1.96) = %g", n.CDF(1.959964))
+	}
+	if math.Abs(n.PDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Errorf("PDF(0) = %g", n.PDF(0))
+	}
+	// Degenerate sigma.
+	d := Normal{Mean: 3, Sigma: 0}
+	if d.CDF(2.9) != 0 || d.CDF(3.1) != 1 {
+		t.Error("degenerate CDF wrong")
+	}
+	if d.PDF(3) != 0 {
+		t.Error("degenerate PDF should be 0 by convention")
+	}
+}
+
+func TestNormalQuantileInvertsCDF(t *testing.T) {
+	n := Normal{Mean: 2, Sigma: 0.5}
+	for _, p := range []float64{0.01, 0.1, 0.5, 0.9, 0.99} {
+		x := n.Quantile(p)
+		if math.Abs(n.CDF(x)-p) > 1e-9 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, n.CDF(x))
+		}
+	}
+	if !math.IsInf(n.Quantile(0), -1) || !math.IsInf(n.Quantile(1), 1) {
+		t.Error("extreme quantiles should be infinite")
+	}
+}
+
+func TestRSS(t *testing.T) {
+	if got := RSS(3, 4); math.Abs(got-5) > 1e-12 {
+		t.Errorf("RSS(3,4) = %g", got)
+	}
+	if got := RSS(); got != 0 {
+		t.Errorf("RSS() = %g", got)
+	}
+}
+
+func TestSpecLimitAcceptable(t *testing.T) {
+	lo := LowerLimit(10)
+	if !lo.Acceptable(10) || !lo.Acceptable(11) || lo.Acceptable(9.99) {
+		t.Error("LowerLimit wrong")
+	}
+	hi := UpperLimit(3)
+	if !hi.Acceptable(3) || !hi.Acceptable(-5) || hi.Acceptable(3.01) {
+		t.Error("UpperLimit wrong")
+	}
+	band := BandLimit(1, 2)
+	if !band.Acceptable(1.5) || band.Acceptable(0.9) || band.Acceptable(2.1) {
+		t.Error("BandLimit wrong")
+	}
+}
+
+func TestSpecLimitShifted(t *testing.T) {
+	lo := LowerLimit(10).Shifted(1) // loosened: accepts more
+	if !lo.Acceptable(9.5) {
+		t.Error("loosened lower bound should accept 9.5")
+	}
+	lo = LowerLimit(10).Shifted(-1) // tightened
+	if lo.Acceptable(10.5) {
+		t.Error("tightened lower bound should reject 10.5")
+	}
+	hi := UpperLimit(3).Shifted(1)
+	if !hi.Acceptable(3.5) {
+		t.Error("loosened upper bound should accept 3.5")
+	}
+	band := BandLimit(1, 2).Shifted(0.5)
+	if !band.Acceptable(0.6) || !band.Acceptable(2.4) {
+		t.Error("loosened band wrong")
+	}
+}
+
+func TestBoundKindString(t *testing.T) {
+	if LowerBound.String() != "lower-bound" || UpperBound.String() != "upper-bound" ||
+		TwoSided.String() != "two-sided" || BoundKind(9).String() != "BoundKind(9)" {
+		t.Error("BoundKind.String wrong")
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := MonteCarloLosses(Normal{}, Normal{}, LowerLimit(0), LowerLimit(0), 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := MonteCarloLosses(Normal{}, Normal{}, LowerLimit(0), LowerLimit(0), 10, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestLossesZeroErrorMeansZeroLoss(t *testing.T) {
+	p := Normal{Mean: 10, Sigma: 1}
+	spec := LowerLimit(8)
+	est := AnalyticLosses(p, Normal{Sigma: 0}, spec, spec)
+	if est.FCL > 1e-9 || est.YL > 1e-9 {
+		t.Errorf("perfect measurement should have zero losses: %+v", est)
+	}
+}
+
+func TestLossesTradeOffDirections(t *testing.T) {
+	// IIP3-like lower-bound spec with measurement error.
+	p := Normal{Mean: 10, Sigma: 1}
+	spec := LowerLimit(8.5)
+	errSigma := 0.4
+	at := AnalyticLosses(p, Normal{Sigma: errSigma}, spec, spec)
+	tight := AnalyticLosses(p, Normal{Sigma: errSigma}, spec, spec.Shifted(-WorstCaseErr(errSigma)))
+	loose := AnalyticLosses(p, Normal{Sigma: errSigma}, spec, spec.Shifted(+WorstCaseErr(errSigma)))
+	if at.FCL <= 0 || at.YL <= 0 {
+		t.Fatalf("nominal threshold should lose both ways: %+v", at)
+	}
+	if tight.FCL > 0.005 {
+		t.Errorf("tightened FCL = %g, want ~0", tight.FCL)
+	}
+	if tight.YL <= at.YL {
+		t.Errorf("tightening should raise YL: %g vs %g", tight.YL, at.YL)
+	}
+	if loose.YL > 0.005 {
+		t.Errorf("loosened YL = %g, want ~0", loose.YL)
+	}
+	if loose.FCL <= at.FCL {
+		t.Errorf("loosening should raise FCL: %g vs %g", loose.FCL, at.FCL)
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	p := Normal{Mean: 10, Sigma: 1}
+	errD := Normal{Sigma: 0.3}
+	spec := LowerLimit(8.5)
+	rng := rand.New(rand.NewSource(41))
+	mc, err := MonteCarloLosses(p, errD, spec, spec, 400000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := AnalyticLosses(p, errD, spec, spec)
+	if math.Abs(mc.FCL-an.FCL) > 0.02 {
+		t.Errorf("FCL: MC %g vs analytic %g", mc.FCL, an.FCL)
+	}
+	if math.Abs(mc.YL-an.YL) > 0.005 {
+		t.Errorf("YL: MC %g vs analytic %g", mc.YL, an.YL)
+	}
+	if math.Abs(mc.GoodFraction-an.GoodFraction) > 0.005 {
+		t.Errorf("good fraction: MC %g vs analytic %g", mc.GoodFraction, an.GoodFraction)
+	}
+}
+
+func TestMonteCarloMatchesAnalyticProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Normal{Mean: 10 + rng.Float64()*5, Sigma: 0.5 + rng.Float64()}
+		errD := Normal{Sigma: 0.1 + rng.Float64()*0.5}
+		spec := LowerLimit(p.Mean - 1.5*p.Sigma)
+		mc, err := MonteCarloLosses(p, errD, spec, spec, 60000, rng)
+		if err != nil {
+			return false
+		}
+		an := AnalyticLosses(p, errD, spec, spec)
+		return math.Abs(mc.FCL-an.FCL) < 0.05 && math.Abs(mc.YL-an.YL) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoSidedLosses(t *testing.T) {
+	// Cut-off-frequency-like two-sided spec.
+	p := Normal{Mean: 100, Sigma: 3}
+	spec := BandLimit(95, 105)
+	errD := Normal{Sigma: 1}
+	at := AnalyticLosses(p, errD, spec, spec)
+	if at.FCL <= 0 || at.YL <= 0 {
+		t.Fatalf("two-sided nominal threshold should lose both ways: %+v", at)
+	}
+	tight := AnalyticLosses(p, errD, spec, spec.Shifted(-3))
+	if tight.FCL > 0.005 {
+		t.Errorf("two-sided tightened FCL = %g", tight.FCL)
+	}
+}
+
+func TestThresholdSweepShape(t *testing.T) {
+	p := Normal{Mean: 10, Sigma: 1}
+	rows := ThresholdSweep(p, 0.3, WorstCaseErr(0.3), LowerLimit(8.5))
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Label != "Tol" || rows[1].Label != "Tol-Err" || rows[2].Label != "Tol+Err" {
+		t.Errorf("labels: %q %q %q", rows[0].Label, rows[1].Label, rows[2].Label)
+	}
+	// Table 2 shape: Tol-Err column has ~zero FCL, Tol+Err ~zero YL.
+	if rows[1].Losses.FCL > 0.005 {
+		t.Errorf("Tol-Err FCL = %g", rows[1].Losses.FCL)
+	}
+	if rows[2].Losses.YL > 0.005 {
+		t.Errorf("Tol+Err YL = %g", rows[2].Losses.YL)
+	}
+	if rows[0].Losses.FCL <= 0 || rows[0].Losses.YL <= 0 {
+		t.Errorf("Tol column should lose both ways: %+v", rows[0].Losses)
+	}
+}
+
+func TestDistributionCurve(t *testing.T) {
+	p := Normal{Mean: 5, Sigma: 1}
+	xs, ys := DistributionCurve(p, 101, 4)
+	if len(xs) != 101 || len(ys) != 101 {
+		t.Fatal("wrong lengths")
+	}
+	if xs[0] != 1 || xs[100] != 9 {
+		t.Errorf("range [%g, %g]", xs[0], xs[100])
+	}
+	// Peak at the mean.
+	maxI := 0
+	for i := range ys {
+		if ys[i] > ys[maxI] {
+			maxI = i
+		}
+	}
+	if math.Abs(xs[maxI]-5) > 0.1 {
+		t.Errorf("pdf peak at %g", xs[maxI])
+	}
+	// Degenerate point count.
+	xs, _ = DistributionCurve(p, 1, 4)
+	if len(xs) != 2 {
+		t.Errorf("clamped points = %d", len(xs))
+	}
+}
+
+func TestLossEstimateString(t *testing.T) {
+	s := LossEstimate{FCL: 0.085, YL: 0.006}.String()
+	if !strings.Contains(s, "8.50%") || !strings.Contains(s, "0.60%") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,112 @@
+// Package tolerance models toleranced analog parameters and the
+// statistics the paper builds on them: process distributions of
+// module parameters, measurement/computation error distributions, and
+// the resulting fault-coverage loss (FCL) and yield loss (YL) as a
+// function of the pass/fail threshold (Figures 2 and 5, Table 2).
+package tolerance
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Value is a toleranced parameter: a nominal value and an absolute 1σ
+// process spread. A defect-free device's parameter is a draw from
+// Normal(Nominal, Sigma).
+type Value struct {
+	// Nominal is the design-nominal parameter value.
+	Nominal float64
+	// Sigma is the absolute 1σ process spread.
+	Sigma float64
+}
+
+// Abs constructs a Value from nominal and absolute 1σ spread.
+func Abs(nominal, sigma float64) Value {
+	return Value{Nominal: nominal, Sigma: math.Abs(sigma)}
+}
+
+// Rel constructs a Value from nominal and relative 1σ spread
+// (e.g. Rel(10, 0.05) is 10 ± 5%).
+func Rel(nominal, relSigma float64) Value {
+	return Value{Nominal: nominal, Sigma: math.Abs(nominal * relSigma)}
+}
+
+// Sample draws one device instance of the parameter.
+func (v Value) Sample(rng *rand.Rand) float64 {
+	return v.Nominal + rng.NormFloat64()*v.Sigma
+}
+
+// RelSigma returns the relative 1σ spread (0 when Nominal is 0).
+func (v Value) RelSigma() float64 {
+	if v.Nominal == 0 {
+		return 0
+	}
+	return math.Abs(v.Sigma / v.Nominal)
+}
+
+// String formats the value as "nominal ± sigma".
+func (v Value) String() string {
+	return fmt.Sprintf("%g ± %g", v.Nominal, v.Sigma)
+}
+
+// Normal is a Gaussian distribution.
+type Normal struct {
+	Mean  float64
+	Sigma float64
+}
+
+// Sample draws from the distribution.
+func (n Normal) Sample(rng *rand.Rand) float64 {
+	return n.Mean + rng.NormFloat64()*n.Sigma
+}
+
+// PDF evaluates the density at x.
+func (n Normal) PDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		return 0
+	}
+	z := (x - n.Mean) / n.Sigma
+	return math.Exp(-0.5*z*z) / (n.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// CDF evaluates P(X ≤ x).
+func (n Normal) CDF(x float64) float64 {
+	if n.Sigma <= 0 {
+		if x < n.Mean {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-n.Mean)/(n.Sigma*math.Sqrt2))
+}
+
+// Quantile returns the p-quantile (0<p<1) by bisection on the CDF —
+// robust and dependency-free; accuracy ~1e-12 relative to Sigma.
+func (n Normal) Quantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	lo, hi := n.Mean-12*n.Sigma, n.Mean+12*n.Sigma
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if n.CDF(mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RSS combines independent 1σ errors by root-sum-square.
+func RSS(sigmas ...float64) float64 {
+	var s float64
+	for _, v := range sigmas {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

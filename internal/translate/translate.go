@@ -1,0 +1,560 @@
+// Package translate implements the paper's test-translation engine:
+// it classifies the module parameters of a signal path into
+// translation-by-composition and translation-by-propagation, predicts
+// the accuracy of each system-level measurement from the blocks'
+// tolerances (choosing the translation method with the smaller error
+// budget, including the adaptive path-gain-first strategy of
+// Figure 4), derives the resulting fault-coverage and yield losses
+// (Figure 2/5, Table 2), flags untranslatable tests for DFT fallback,
+// and emits the boundary checks that composition requires (Figure 3).
+package translate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mstx/internal/msignal"
+	"mstx/internal/params"
+	"mstx/internal/path"
+	"mstx/internal/tolerance"
+)
+
+// Kind classifies how a parameter test is realized at system level.
+type Kind int
+
+const (
+	// Composition: the parameter is measured as part of a composite
+	// path parameter (gain, NF, dynamic range, DC offset).
+	Composition Kind = iota
+	// Propagation: stimulus and response are propagated through the
+	// other blocks (IIP3, P1dB, cut-off frequency, LO frequency).
+	Propagation
+	// Direct: not translatable — a DFT test point or dedicated
+	// hardware is required.
+	Direct
+)
+
+// String names the translation kind.
+func (k Kind) String() string {
+	switch k {
+	case Composition:
+		return "composition"
+	case Propagation:
+		return "propagation"
+	case Direct:
+		return "direct (DFT)"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Request is one designer-specified parameter to be tested.
+type Request struct {
+	// Param identifies the parameter.
+	Param params.Kind
+	// Target is the block under test.
+	Target string
+	// Limit is the acceptance region for the true parameter value.
+	Limit tolerance.SpecLimit
+	// Dist is the expected process distribution of the parameter
+	// (from design-time Monte Carlo, per the paper).
+	Dist tolerance.Normal
+}
+
+// PlannedTest is one synthesized system-level test.
+type PlannedTest struct {
+	// Request echoes the input requirement.
+	Request Request
+	// Kind is the chosen translation class.
+	Kind Kind
+	// Method is the chosen measurement method (for Propagation).
+	Method params.Method
+	// ErrSigma is the predicted 1σ measurement/computation error in
+	// the parameter's unit.
+	ErrSigma float64
+	// Losses are the predicted FCL/YL at the three Table 2 thresholds
+	// (empty for Direct tests).
+	Losses []tolerance.ThresholdRow
+	// Order is the execution position; composite prerequisites (path
+	// gain, LO frequency) come first so later tests can adapt.
+	Order int
+	// Captures is the number of path captures the procedure performs
+	// — the unit of test time on a mixed-signal tester.
+	Captures int
+	// Reason documents method choice or why the test is Direct.
+	Reason string
+}
+
+// CheckKind distinguishes the two Figure 3 boundary conditions.
+type CheckKind int
+
+const (
+	// SaturationCheck measures gain compression at high amplitude: a
+	// positive gain error in an early block drives a later block into
+	// compression even when the composite mid-scale gain passes.
+	SaturationCheck CheckKind = iota
+	// NoiseCheck measures SINAD at the minimum amplitude: excess
+	// path noise or signal loss shows up as a missing tone even when
+	// the composite gain passes.
+	NoiseCheck
+)
+
+// String names the check kind.
+func (k CheckKind) String() string {
+	if k == SaturationCheck {
+		return "saturation"
+	}
+	return "noise"
+}
+
+// BoundaryCheck is a composition-method side condition (Figure 3):
+// a measurement at an amplitude extreme that exposes errors masked in
+// the composite at mid-scale.
+type BoundaryCheck struct {
+	// Kind selects the check flavor.
+	Kind CheckKind
+	// PIAmplitude is the primary-input amplitude to apply, volts.
+	PIAmplitude float64
+	// MaxCompressionDB is the allowed gain drop relative to mid-scale
+	// (SaturationCheck).
+	MaxCompressionDB float64
+	// MinSINADdB is the pass threshold (NoiseCheck).
+	MinSINADdB float64
+	// Why explains which masking scenario the check exposes.
+	Why string
+}
+
+// Plan is the synthesized system-level test program.
+type Plan struct {
+	// Tests are the planned tests in execution order.
+	Tests []PlannedTest
+	// Boundary are the composition boundary checks.
+	Boundary []BoundaryCheck
+	// DFTRequired lists the requests that could not be translated.
+	DFTRequired []PlannedTest
+}
+
+// TotalCaptures sums the captures over translatable tests plus the
+// boundary checks (three captures: one small-signal reference shared
+// by the saturation check, one high, one low amplitude).
+func (p *Plan) TotalCaptures() int {
+	n := 3
+	for _, t := range p.Tests {
+		if t.Kind != Direct {
+			n += t.Captures
+		}
+	}
+	return n
+}
+
+// TestTime estimates the translated program's tester time in seconds
+// for the given capture geometry: captures × (N+settle)/ADCRate plus
+// a fixed per-capture setup overhead (source settling, retargeting).
+func (p *Plan) TestTime(n, settle int, adcRate, setupOverhead float64) float64 {
+	per := float64(n+settle)/adcRate + setupOverhead
+	return float64(p.TotalCaptures()) * per
+}
+
+// dBTol converts a dB-domain sigma to itself (identity; kept for
+// readability at call sites mixing units).
+func dBTol(v tolerance.Value) float64 { return v.Sigma }
+
+// Synthesize builds the test plan for the given path and requests.
+func Synthesize(p *path.Path, reqs []Request) (*Plan, error) {
+	if p == nil {
+		return nil, fmt.Errorf("translate: nil path")
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("translate: no requests")
+	}
+	plan := &Plan{}
+	for _, r := range reqs {
+		t, err := planOne(p, r)
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == Direct {
+			plan.DFTRequired = append(plan.DFTRequired, t)
+		}
+		plan.Tests = append(plan.Tests, t)
+	}
+	// Losses for every translatable test.
+	for i := range plan.Tests {
+		t := &plan.Tests[i]
+		if t.Kind == Direct || t.ErrSigma <= 0 {
+			continue
+		}
+		err := tolerance.WorstCaseErr(t.ErrSigma)
+		t.Losses = tolerance.ThresholdSweep(t.Request.Dist, t.ErrSigma, err, t.Request.Limit)
+	}
+	// Execution order: composites that later tests adapt on come
+	// first (path gain, LO frequency error), then everything else in
+	// request order.
+	sort.SliceStable(plan.Tests, func(i, j int) bool {
+		return orderClass(plan.Tests[i]) < orderClass(plan.Tests[j])
+	})
+	for i := range plan.Tests {
+		plan.Tests[i].Order = i
+	}
+	plan.Boundary = boundaryChecks(p)
+	return plan, nil
+}
+
+func orderClass(t PlannedTest) int {
+	switch t.Request.Param {
+	case params.PathGain:
+		return 0
+	case params.LOFreqError:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// planOne classifies one request and predicts its error budget.
+func planOne(p *path.Path, r Request) (PlannedTest, error) {
+	t := PlannedTest{Request: r}
+	sa := dBTol(p.Spec.Amp.GainDB)
+	sm := dBTol(p.Spec.Mixer.ConvGainDB)
+	sb := dBTol(p.Spec.LPF.GainDB)
+	switch r.Param {
+	case params.PathGain:
+		t.Kind = Composition
+		t.Method = params.Adaptive
+		// Composite gain is measured directly: the residual error is
+		// the capture repeatability (quantization + noise), far below
+		// the block tolerances. 0.05 dB is the measured repeatability
+		// of the 4096-point capture.
+		t.ErrSigma = 0.05
+		t.Captures = 1
+		t.Reason = "composite parameter; measured directly at PO"
+
+	case params.NoiseFigure, params.PathSNR:
+		t.Kind = Composition
+		t.Method = params.Adaptive
+		t.ErrSigma = 0.5 // SNR-estimate repeatability, dB
+		t.Captures = 1
+		t.Reason = "composed across the path; requires boundary checks"
+
+	case params.DynamicRange:
+		t.Kind = Composition
+		t.Method = params.Adaptive
+		t.ErrSigma = 1.0 // two bisection edges, ~0.7 dB each
+		t.Captures = 21  // compression sweep + noise-floor bisection
+		t.Reason = "composed DR: 1 dB compression edge over the SINAD=6 dB floor"
+
+	case params.DCOffset, params.ADCOffset:
+		t.Kind = Composition
+		t.Method = params.Adaptive
+		lsb := p.ADC.LSB()
+		t.ErrSigma = tolerance.RSS(lsb/math.Sqrt(12), p.Spec.ADC.INLPeakLSB.Sigma*lsb)
+		t.Captures = 1
+		t.Reason = "LPF and ADC offsets compose at the output; amp offset is mixer-rejected"
+
+	case params.MixerIIP3:
+		t.Kind = Propagation
+		nominal := tolerance.RSS(sm, sb)
+		adaptive := tolerance.RSS(sa, 0.05)
+		t.Method, t.ErrSigma, t.Reason = pickMethod(nominal, adaptive,
+			"nominal gains: RSS(σ_M, σ_B)", "adaptive: path gain measured, only σ_A remains")
+		t.Captures = 2 // two-tone capture + the shared path-gain capture
+		if !iip3Observable(p) {
+			t.Kind = Direct
+			t.Reason = "IM3 product falls below the minimum detectable level at PO"
+		}
+
+	case params.MixerP1dB:
+		t.Kind = Propagation
+		nominal := sa // refer PI level through nominal amp gain
+		adaptive := tolerance.RSS(sm, sb, 0.05)
+		t.Method, t.ErrSigma, t.Reason = pickMethod(nominal, adaptive,
+			"nominal amp gain: σ_A", "adaptive: path gain minus nominal mixer+filter gains")
+		t.Captures = 22 // amplitude sweep: coarse ramp + 12-step bisection
+
+	case params.LPFCutoff:
+		t.Kind = Propagation
+		t.Method = params.Adaptive
+		// Ratiometric sweep: gains cancel; residual is the sweep
+		// grid and noise, ~1.5% of the corner.
+		t.ErrSigma = 0.015 * p.Spec.LPF.CutoffHz.Nominal
+		t.Captures = 13 // reference + bracketing + 10-step bisection
+		t.Reason = "ratiometric IF sweep; block gains cancel"
+
+	case params.LOFreqError:
+		t.Kind = Propagation
+		t.Method = params.Adaptive
+		// Four-parameter sine fit resolves the IF frequency far below
+		// the FFT bin (IEEE 1057); 10 Hz covers the fit repeatability
+		// at the standard capture length.
+		t.ErrSigma = 10
+		t.Captures = 1
+		t.Reason = "four-parameter sine fit of the IF tone at PO"
+
+	case params.LOIsolation:
+		// Check observability: propagate the leakage to the output and
+		// compare with the minimum detectable amplitude there.
+		if loLeakObservable(p) {
+			t.Kind = Propagation
+			t.Method = params.Adaptive
+			// Error budget: the LPF roll-off correction at f_LO
+			// (|H| ≈ (fc/f)², so d|H|dB = 40·σfc/fc/ln10), the
+			// upconverted amp-offset residual (2·G_M·σ_off relative
+			// to the nominal leak), and the near-floor measurement
+			// repeatability.
+			fcDB := 40 * p.Spec.LPF.CutoffHz.RelSigma() / math.Ln10
+			leak := p.Spec.Mixer.LODriveAmpV /
+				math.Pow(10, p.Spec.Mixer.LOIsolationDB.Nominal/20)
+			offDB := 0.0
+			if leak > 0 {
+				offRes := 2 * math.Pow(10, p.Spec.Mixer.ConvGainDB.Nominal/20) *
+					p.Spec.Amp.OffsetV.Sigma
+				offDB = 20 / math.Ln10 * offRes / leak
+			}
+			t.ErrSigma = tolerance.RSS(sb, fcDB, offDB, 1.0)
+			t.Captures = 1
+			t.Reason = "LO spur observable at PO through the known filter roll-off"
+		} else {
+			t.Kind = Direct
+			t.Reason = "LO leakage is filtered below the noise floor at PO; needs a test point"
+		}
+
+	case params.GroupDelay:
+		t.Kind = Propagation
+		t.Method = params.Adaptive
+		// Two-tone phase difference: the unknown LO phase is common
+		// mode and cancels; residual error is the phase-estimate
+		// repeatability over the capture (~20 ns at 4096 points).
+		t.ErrSigma = 20e-9
+		t.Captures = 1
+		t.Reason = "two-tone phase difference at PO; common LO phase cancels"
+
+	case params.ADCINL, params.ADCDNL:
+		t.Kind = Direct
+		t.Reason = "histogram linearity test needs a precision ramp the path cannot deliver"
+
+	case params.StopbandGain:
+		// A stop-band tone must survive BOTH the analog filter's
+		// attenuation and the digital channel filter to be observable
+		// at the PO; check before planning.
+		if stopbandObservable(p) {
+			t.Kind = Propagation
+			t.Method = params.Adaptive
+			t.ErrSigma = tolerance.RSS(sa, sm, 0.5)
+			t.Captures = 2 // reference + probe
+			t.Reason = "stop-band tone observable at PO"
+		} else {
+			t.Kind = Direct
+			t.Reason = "stop-band tone killed by the digital channel filter; needs a test point before the decimator"
+		}
+
+	case params.PhaseNoise:
+		// The LO's close-in phase-noise skirt sits below the
+		// converter's noise floor for a healthy synthesizer; the test
+		// needs dedicated hardware (or the LO's own test port).
+		t.Kind = Direct
+		t.Reason = "phase-noise skirt below the converter noise floor at PO; needs dedicated measurement"
+
+	default:
+		return t, fmt.Errorf("translate: no plan rule for parameter %q", r.Param)
+	}
+	return t, nil
+}
+
+// pickMethod returns the method with the smaller predicted error.
+func pickMethod(nominal, adaptive float64, nomWhy, adaWhy string) (params.Method, float64, string) {
+	if adaptive < nominal {
+		return params.Adaptive, adaptive, adaWhy
+	}
+	return params.NominalGains, nominal, nomWhy
+}
+
+// iip3Observable checks whether the IM3 product of the standard
+// stimulus survives to the output above the minimum detectable level.
+func iip3Observable(p *path.Path) bool {
+	st := params.DefaultIIP3Stimulus()
+	// IM3 amplitude at the mixer output for the wanted drive.
+	aip3 := math.Pow(10, (p.Spec.Mixer.IIP3DBm.Nominal-30)/10)
+	aip3 = math.Sqrt(2 * 50 * aip3)
+	im3MixOut := st.MixerInAmp * st.MixerInAmp * st.MixerInAmp / (aip3 * aip3) *
+		math.Pow(10, p.Spec.Mixer.ConvGainDB.Nominal/20)
+	// Propagate a pseudo-tone of that amplitude at the IM3 frequency
+	// through the remaining blocks via the attribute model.
+	fim := 2*st.F1IF - st.F2IF
+	sig := msignal.NewTone(fim, im3MixOut)
+	out := p.LPF.Propagate(sig)
+	out = p.ADC.Propagate(out)
+	mda := out.MinDetectableAmplitude(6, p.Spec.ADCRate/4096, p.Spec.ADCRate/2)
+	return out.Tones[0].Amp > mda
+}
+
+// stopbandObservable checks whether a stop-band probe tone at ~2.2×fc
+// clears the minimum detectable level at the output, including the
+// digital filter's own attenuation at that frequency.
+func stopbandObservable(p *path.Path) bool {
+	f := 2.2 * p.Spec.LPF.CutoffHz.Nominal
+	if f >= p.Spec.ADCRate/2 {
+		return false
+	}
+	// Largest safe probe amplitude at the LPF input, attenuated by the
+	// analog stop band.
+	sig := msignal.NewTone(f, 0.2)
+	out := p.LPF.Propagate(sig)
+	out = p.ADC.Propagate(out)
+	// Digital filter response at the aliased probe frequency.
+	hDig := digitalResponse(p, f)
+	amp := out.Tones[0].Amp * hDig
+	mda := out.MinDetectableAmplitude(6, p.Spec.ADCRate/4096, p.Spec.ADCRate/2)
+	return amp > mda
+}
+
+// digitalResponse evaluates the channel filter magnitude at f.
+func digitalResponse(p *path.Path, f float64) float64 {
+	var re, im float64
+	for n, c := range p.Spec.FilterCoeffs {
+		ang := -2 * math.Pi * f / p.Spec.ADCRate * float64(n)
+		re += c * math.Cos(ang)
+		im += c * math.Sin(ang)
+	}
+	return math.Hypot(re, im)
+}
+
+// loLeakObservable propagates the nominal LO leakage through the
+// filter and converter and compares with the minimum detectable level.
+func loLeakObservable(p *path.Path) bool {
+	leak := p.Spec.Mixer.LODriveAmpV / math.Pow(10, p.Spec.Mixer.LOIsolationDB.Nominal/20)
+	sig := msignal.NewTone(p.Spec.LO.FreqHz.Nominal, leak)
+	out := p.LPF.Propagate(sig)
+	out = p.ADC.Propagate(out)
+	mda := out.MinDetectableAmplitude(6, p.Spec.ADCRate/4096, p.Spec.ADCRate/2)
+	return out.Tones[0].Amp > mda
+}
+
+// boundaryChecks derives the Figure 3 checks: the composite path-gain
+// test is blind to a single block's gain error at mid amplitude, so
+// SNR must be verified at the amplitude extremes.
+func boundaryChecks(p *path.Path) []BoundaryCheck {
+	// Maximum amplitude: 70% of the mixer's clipping level referred to
+	// the primary input. A nominal device compresses ~0.4 dB there; a
+	// +3σ-fast amplifier pushes the mixer past 1 dB of compression.
+	gA := math.Pow(10, p.Spec.Amp.GainDB.Nominal/20)
+	mixClip := math.Pow(10, (p.Spec.Mixer.P1dBDBm.Nominal-30)/10)
+	mixClip = math.Sqrt(2 * 50 * mixClip) // volts at mixer input
+	maxPI := mixClip / gA * 0.7
+	// Minimum amplitude: 12 dB above the total noise at the converter
+	// (propagated analog noise plus the ADC's quantization and thermal
+	// noise, which dominate for small signals).
+	attr := p.Propagate(msignal.NewTone(p.Spec.LO.FreqHz.Nominal+900e3, 1), path.StageADCIn)
+	gPath := attr.Tones[0].Amp // path gain as linear factor for 1 V in
+	lsb := p.ADC.LSB()
+	noiseOut := tolerance.RSS(attr.NoiseRMS, lsb/math.Sqrt(12), p.Spec.ADC.NoiseRMSLSB*lsb)
+	minPI := noiseOut * math.Sqrt2 * math.Pow(10, 12.0/20) / gPath
+	return []BoundaryCheck{
+		{
+			Kind:             SaturationCheck,
+			PIAmplitude:      maxPI,
+			MaxCompressionDB: 0.7,
+			Why:              "positive gain error in one block saturates the next despite a passing composite gain (Fig. 3 high-amplitude case)",
+		},
+		{
+			Kind:        NoiseCheck,
+			PIAmplitude: minPI,
+			MinSINADdB:  6,
+			Why:         "negative gain error or excess noise loses a small signal despite a passing composite gain (Fig. 3 low-amplitude case)",
+		},
+	}
+}
+
+// stopbandNominal returns the design stop-band gain at the standard
+// 2.2×fc probe: pass-band gain minus the 2nd-order Butterworth
+// roll-off there.
+func stopbandNominal(p *path.Path) float64 {
+	return p.Spec.LPF.GainDB.Nominal - 10*math.Log10(1+math.Pow(2.2, 4))
+}
+
+// groupDelayNominal returns the design group delay of the baseband
+// chain: the filter's in-band phase slope plus the digital filter's
+// linear-phase delay.
+func groupDelayNominal(p *path.Path) float64 {
+	return p.LPF.GroupDelayAt(0.9e6, p.Spec.SimRate) +
+		float64(len(p.Spec.FilterCoeffs)-1)/2/p.Spec.ADCRate
+}
+
+// DefaultRequests returns the Table 1 parameter set for the default
+// communication path, with spec limits placed at ±3σ-ish process
+// corners so the loss computations are meaningful.
+func DefaultRequests(p *path.Path) []Request {
+	return []Request{
+		{
+			Param: params.PathGain, Target: "path",
+			Limit: tolerance.BandLimit(p.NominalPathGainDB()-2, p.NominalPathGainDB()+2),
+			Dist:  tolerance.Normal{Mean: p.NominalPathGainDB(), Sigma: 0.7},
+		},
+		{
+			Param: params.MixerIIP3, Target: "mixer",
+			Limit: tolerance.LowerLimit(p.Spec.Mixer.IIP3DBm.Nominal - 2),
+			Dist:  tolerance.Normal{Mean: p.Spec.Mixer.IIP3DBm.Nominal, Sigma: p.Spec.Mixer.IIP3DBm.Sigma},
+		},
+		{
+			Param: params.MixerP1dB, Target: "mixer",
+			Limit: tolerance.LowerLimit(p.Spec.Mixer.P1dBDBm.Nominal - 2),
+			Dist:  tolerance.Normal{Mean: p.Spec.Mixer.P1dBDBm.Nominal, Sigma: p.Spec.Mixer.P1dBDBm.Sigma},
+		},
+		{
+			Param: params.LPFCutoff, Target: "lpf",
+			Limit: tolerance.BandLimit(p.Spec.LPF.CutoffHz.Nominal*0.92, p.Spec.LPF.CutoffHz.Nominal*1.08),
+			Dist:  tolerance.Normal{Mean: p.Spec.LPF.CutoffHz.Nominal, Sigma: p.Spec.LPF.CutoffHz.Sigma},
+		},
+		{
+			Param: params.DCOffset, Target: "lpf+adc",
+			Limit: tolerance.BandLimit(-0.004, 0.006),
+			Dist: tolerance.Normal{
+				Mean: p.Spec.LPF.OffsetV.Nominal + p.Spec.ADC.OffsetLSB.Nominal*p.ADC.LSB(),
+				Sigma: tolerance.RSS(p.Spec.LPF.OffsetV.Sigma,
+					p.Spec.ADC.OffsetLSB.Sigma*p.ADC.LSB()),
+			},
+		},
+		{
+			Param: params.LOFreqError, Target: "lo",
+			Limit: tolerance.BandLimit(-100, 100),
+			Dist:  tolerance.Normal{Mean: 0, Sigma: p.Spec.LO.FreqHz.Sigma},
+		},
+		{
+			Param: params.LOIsolation, Target: "mixer",
+			Limit: tolerance.LowerLimit(p.Spec.Mixer.LOIsolationDB.Nominal - 5),
+			Dist:  tolerance.Normal{Mean: p.Spec.Mixer.LOIsolationDB.Nominal, Sigma: p.Spec.Mixer.LOIsolationDB.Sigma},
+		},
+		{
+			Param: params.DynamicRange, Target: "path",
+			Limit: tolerance.LowerLimit(45),
+			Dist:  tolerance.Normal{Mean: 57, Sigma: 3},
+		},
+		{
+			Param: params.StopbandGain, Target: "lpf",
+			Limit: tolerance.UpperLimit(stopbandNominal(p) + 3),
+			Dist:  tolerance.Normal{Mean: stopbandNominal(p), Sigma: 1},
+		},
+		{
+			Param: params.PhaseNoise, Target: "lo",
+			Limit: tolerance.UpperLimit(-80),
+			Dist:  tolerance.Normal{Mean: -90, Sigma: 3},
+		},
+		{
+			Param: params.ADCINL, Target: "adc",
+			Limit: tolerance.UpperLimit(1.5),
+			Dist:  tolerance.Normal{Mean: p.Spec.ADC.INLPeakLSB.Nominal, Sigma: p.Spec.ADC.INLPeakLSB.Sigma},
+		},
+		{
+			// The NF/DR composition is judged through the path SNR at
+			// the standard stimulus level.
+			Param: params.PathSNR, Target: "path",
+			Limit: tolerance.LowerLimit(30),
+			Dist:  tolerance.Normal{Mean: 40, Sigma: 2},
+		},
+		{
+			Param: params.GroupDelay, Target: "path",
+			Limit: tolerance.BandLimit(groupDelayNominal(p)*0.85, groupDelayNominal(p)*1.15),
+			Dist:  tolerance.Normal{Mean: groupDelayNominal(p), Sigma: groupDelayNominal(p) * 0.04},
+		},
+	}
+}

@@ -1,0 +1,304 @@
+package translate
+
+import (
+	"math"
+	"testing"
+
+	"mstx/internal/digital"
+	"mstx/internal/dsp"
+	"mstx/internal/params"
+	"mstx/internal/path"
+	"mstx/internal/tolerance"
+)
+
+func buildPath(t testing.TB) *path.Path {
+	t.Helper()
+	coeffs, err := digital.DesignLowPassFIR(13, 0.18, dsp.Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := path.DefaultSpec(coeffs).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	p := buildPath(t)
+	if _, err := Synthesize(nil, DefaultRequests(p)); err == nil {
+		t.Error("nil path accepted")
+	}
+	if _, err := Synthesize(p, nil); err == nil {
+		t.Error("empty requests accepted")
+	}
+	if _, err := Synthesize(p, []Request{{Param: "nonsense"}}); err == nil {
+		t.Error("unknown parameter accepted")
+	}
+}
+
+func TestSynthesizeDefaultPlan(t *testing.T) {
+	p := buildPath(t)
+	plan, err := Synthesize(p, DefaultRequests(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Tests) != len(DefaultRequests(p)) {
+		t.Fatalf("plan has %d tests", len(plan.Tests))
+	}
+	// Path gain must be first (adaptive prerequisite).
+	if plan.Tests[0].Request.Param != params.PathGain {
+		t.Errorf("first test is %v, want path-gain", plan.Tests[0].Request.Param)
+	}
+	// LO frequency next.
+	if plan.Tests[1].Request.Param != params.LOFreqError {
+		t.Errorf("second test is %v, want lo-freq-error", plan.Tests[1].Request.Param)
+	}
+	for i, tst := range plan.Tests {
+		if tst.Order != i {
+			t.Errorf("test %d has Order %d", i, tst.Order)
+		}
+	}
+	// ADC INL must be flagged for DFT.
+	foundINL := false
+	for _, d := range plan.DFTRequired {
+		if d.Request.Param == params.ADCINL {
+			foundINL = true
+		}
+	}
+	if !foundINL {
+		t.Error("ADC INL not flagged as DFT-required")
+	}
+	// Every translatable test with an error budget has Table 2 rows.
+	for _, tst := range plan.Tests {
+		if tst.Kind == Direct {
+			continue
+		}
+		if tst.ErrSigma <= 0 {
+			t.Errorf("%v: no error budget", tst.Request.Param)
+		}
+		if len(tst.Losses) != 3 {
+			t.Errorf("%v: %d loss rows, want 3", tst.Request.Param, len(tst.Losses))
+		}
+	}
+	// Two boundary checks (Fig. 3 high and low amplitude).
+	if len(plan.Boundary) != 2 {
+		t.Fatalf("boundary checks = %d", len(plan.Boundary))
+	}
+	if plan.Boundary[0].PIAmplitude <= plan.Boundary[1].PIAmplitude {
+		t.Error("high-amplitude check should exceed low-amplitude check")
+	}
+}
+
+func TestMethodSelectionIIP3VsP1dB(t *testing.T) {
+	// With the default tolerances (σ_A=0.4, σ_M=0.5, σ_B=0.3):
+	// IIP3: nominal RSS(0.5,0.3)=0.58 vs adaptive ~0.40 -> Adaptive.
+	// P1dB: nominal 0.4 vs adaptive RSS(0.5,0.3,..)=0.58 -> Nominal.
+	p := buildPath(t)
+	plan, err := Synthesize(p, DefaultRequests(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tst := range plan.Tests {
+		switch tst.Request.Param {
+		case params.MixerIIP3:
+			if tst.Method != params.Adaptive {
+				t.Errorf("IIP3 method = %v, want adaptive", tst.Method)
+			}
+			if math.Abs(tst.ErrSigma-tolerance.RSS(0.4, 0.05)) > 1e-9 {
+				t.Errorf("IIP3 sigma = %g", tst.ErrSigma)
+			}
+		case params.MixerP1dB:
+			if tst.Method != params.NominalGains {
+				t.Errorf("P1dB method = %v, want nominal-gains", tst.Method)
+			}
+			if math.Abs(tst.ErrSigma-0.4) > 1e-9 {
+				t.Errorf("P1dB sigma = %g", tst.ErrSigma)
+			}
+		}
+	}
+}
+
+func TestAdaptiveWinsWhenAmpToleranceTight(t *testing.T) {
+	p := buildPath(t)
+	p.Spec.Amp.GainDB = tolerance.Abs(15, 0.05) // very tight amp
+	plan, err := Synthesize(p, DefaultRequests(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tst := range plan.Tests {
+		if tst.Request.Param == params.MixerP1dB && tst.Method != params.NominalGains {
+			t.Errorf("tight amp: P1dB should use nominal amp gain, got %v", tst.Method)
+		}
+		if tst.Request.Param == params.MixerIIP3 && tst.Method != params.Adaptive {
+			t.Errorf("tight amp: IIP3 should stay adaptive, got %v", tst.Method)
+		}
+	}
+}
+
+func TestLossesShapeMatchesTable2(t *testing.T) {
+	p := buildPath(t)
+	plan, err := Synthesize(p, DefaultRequests(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tst := range plan.Tests {
+		if tst.Kind == Direct {
+			continue
+		}
+		rows := tst.Losses
+		if rows[1].Losses.FCL > 0.01 {
+			t.Errorf("%v: Tol-Err FCL = %g, want ~0", tst.Request.Param, rows[1].Losses.FCL)
+		}
+		if rows[2].Losses.YL > 0.01 {
+			t.Errorf("%v: Tol+Err YL = %g, want ~0", tst.Request.Param, rows[2].Losses.YL)
+		}
+	}
+}
+
+func TestLOIsolationObservabilityDecision(t *testing.T) {
+	// With the default 12-bit converter the 9.6 MHz LO leak clears the
+	// noise floor after the filter roll-off: the test is translatable.
+	p := buildPath(t)
+	plan, err := Synthesize(p, DefaultRequests(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iso *PlannedTest
+	for i := range plan.Tests {
+		if plan.Tests[i].Request.Param == params.LOIsolation {
+			iso = &plan.Tests[i]
+		}
+	}
+	if iso == nil {
+		t.Fatal("LO isolation missing from plan")
+	}
+	if iso.Kind != Propagation {
+		t.Errorf("LO isolation kind = %v, want Propagation", iso.Kind)
+	}
+	// A coarse converter (or excellent isolation) buries the leak:
+	// the engine must fall back to DFT.
+	p2 := buildPath(t)
+	p2.Spec.Mixer.LOIsolationDB = tolerance.Abs(80, 2)
+	plan2, err := Synthesize(p2, DefaultRequests(p2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tst := range plan2.Tests {
+		if tst.Request.Param == params.LOIsolation && tst.Kind != Direct {
+			t.Errorf("80 dB isolation planned as %v, want Direct", tst.Kind)
+		}
+	}
+}
+
+func TestIIP3ObservabilityFallback(t *testing.T) {
+	// A mixer with an absurdly high IIP3 produces IM3 below the noise:
+	// the engine must flag DFT.
+	p := buildPath(t)
+	p.Spec.Mixer.IIP3DBm = tolerance.Abs(60, 0.5)
+	plan, err := Synthesize(p, DefaultRequests(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tst := range plan.Tests {
+		if tst.Request.Param == params.MixerIIP3 && tst.Kind != Direct {
+			t.Errorf("unobservable IM3 planned as %v", tst.Kind)
+		}
+	}
+}
+
+func TestBoundaryCheckAmplitudesSane(t *testing.T) {
+	p := buildPath(t)
+	checks := boundaryChecks(p)
+	hi, lo := checks[0], checks[1]
+	// High check: below ADC full scale at the converter but above
+	// typical mid-scale stimulus.
+	if hi.PIAmplitude < 0.01 || hi.PIAmplitude > 0.2 {
+		t.Errorf("high-amplitude check at %g V", hi.PIAmplitude)
+	}
+	if lo.PIAmplitude <= 0 || lo.PIAmplitude > 0.001 {
+		t.Errorf("low-amplitude check at %g V", lo.PIAmplitude)
+	}
+	if hi.Why == "" || lo.Why == "" {
+		t.Error("boundary checks must explain themselves")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Composition.String() != "composition" || Propagation.String() != "propagation" ||
+		Direct.String() != "direct (DFT)" || Kind(9).String() != "Kind(9)" {
+		t.Error("Kind.String wrong")
+	}
+}
+
+func TestStopbandAndPhaseNoisePlanning(t *testing.T) {
+	p := buildPath(t)
+	plan, err := Synthesize(p, DefaultRequests(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[params.Kind]Kind{}
+	for _, tst := range plan.Tests {
+		found[tst.Request.Param] = tst.Kind
+	}
+	// The 13-tap channel filter is leaky enough for a 3.3 MHz probe
+	// to survive to the output: translatable.
+	if k, ok := found[params.StopbandGain]; !ok || k != Propagation {
+		t.Errorf("stop-band gain planned as %v", k)
+	}
+	if k, ok := found[params.PhaseNoise]; !ok || k != Direct {
+		t.Errorf("phase noise planned as %v", k)
+	}
+	// Coherent capture keeps the probe measurable through surprisingly
+	// sharp filters; only a long Blackman design with a deep stop band
+	// finally buries it: DFT required.
+	sharp := buildPath(t)
+	coeffs, err := digital.DesignLowPassFIR(101, 0.05, dsp.Blackman)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharp.Spec.FilterCoeffs = coeffs
+	plan2, err := Synthesize(sharp, DefaultRequests(sharp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tst := range plan2.Tests {
+		if tst.Request.Param == params.StopbandGain && tst.Kind != Direct {
+			t.Errorf("sharp-filter stop-band gain planned as %v", tst.Kind)
+		}
+	}
+}
+
+func TestPlanCaptureBudget(t *testing.T) {
+	p := buildPath(t)
+	plan, err := Synthesize(p, DefaultRequests(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := plan.TotalCaptures()
+	// Boundary checks contribute 3; each translatable test >= 1.
+	min := 3
+	for _, tst := range plan.Tests {
+		if tst.Kind != Direct {
+			if tst.Captures < 1 {
+				t.Errorf("%v: no capture budget", tst.Request.Param)
+			}
+			min += tst.Captures
+		} else if tst.Captures != 0 {
+			t.Errorf("%v: Direct test with captures", tst.Request.Param)
+		}
+	}
+	if total != min {
+		t.Errorf("TotalCaptures = %d, want %d", total, min)
+	}
+	// 4096-pt captures at 8 MHz: each 576 µs + 100 µs setup.
+	sec := plan.TestTime(4096, 512, 8e6, 100e-6)
+	per := (4096.0 + 512) / 8e6
+	want := float64(total) * (per + 100e-6)
+	if math.Abs(sec-want) > 1e-12 {
+		t.Errorf("TestTime = %g, want %g", sec, want)
+	}
+	if sec <= 0 || sec > 1 {
+		t.Errorf("test time %g s implausible", sec)
+	}
+}
