@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"mstx/internal/core"
 	"mstx/internal/digital"
 	"mstx/internal/dsp"
 	"mstx/internal/experiments"
@@ -458,4 +459,66 @@ func BenchmarkSimulateFull(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchDigitalTest builds the default E8 digital test (13-tap filter
+// behind the analog front end, calibrated spectral detector) once for
+// the spectral-campaign benchmark pair.
+func benchDigitalTest(b *testing.B, patterns int) *core.DigitalTest {
+	b.Helper()
+	spec, err := experiments.BuildDefaultSpec()
+	if err != nil {
+		b.Fatal(err)
+	}
+	synth, err := core.New(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultDigitalTestOptions()
+	opts.Patterns = patterns
+	dt, err := synth.BuildDigitalTest(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dt
+}
+
+// BenchmarkSpectralCampaign measures the pooled campaign engine on the
+// default E8 universe: pipelined 63-lane record generation feeding
+// spectral-detection workers with reusable FFT scratch and the
+// zero-diff screen (compare with BenchmarkSpectralCampaignSeed).
+// Reported metrics: faults simulated per second and the fraction of
+// lanes the screen resolved without a transform.
+func BenchmarkSpectralCampaign(b *testing.B) {
+	dt := benchDigitalTest(b, 1024)
+	var screened float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := dt.RunSpectralStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		screened = float64(stats.Screened) / float64(stats.Faults)
+	}
+	b.StopTimer()
+	faults := float64(dt.Universe.Size()) * float64(b.N)
+	b.ReportMetric(faults/b.Elapsed().Seconds(), "faults/s")
+	b.ReportMetric(100*screened, "%screened")
+}
+
+// BenchmarkSpectralCampaignSeed is the seed path of the same campaign:
+// fault.SimulateRecords with the detector invoked inline, paying a
+// window-table and FFT-buffer allocation per fault and transforming
+// every lane.
+func BenchmarkSpectralCampaignSeed(b *testing.B) {
+	dt := benchDigitalTest(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dt.RunSpectralSeed(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	faults := float64(dt.Universe.Size()) * float64(b.N)
+	b.ReportMetric(faults/b.Elapsed().Seconds(), "faults/s")
 }

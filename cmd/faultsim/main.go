@@ -6,7 +6,7 @@
 // Usage:
 //
 //	faultsim [-taps 16] [-width 10] [-patterns 1024] [-tones 2]
-//	         [-amp 460] [-collapse] [-undetected]
+//	         [-amp 460] [-collapse] [-undetected] [-spectral]
 package main
 
 import (
@@ -14,13 +14,16 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"math/rand"
 	"os"
 
 	"mstx/internal/atpg"
+	"mstx/internal/campaign"
 	"mstx/internal/digital"
 	"mstx/internal/dsp"
 	"mstx/internal/fault"
 	"mstx/internal/netlist"
+	"mstx/internal/spectest"
 )
 
 func main() {
@@ -39,6 +42,9 @@ func main() {
 		cutoff     = flag.Float64("cutoff", 0.15, "filter normalized cutoff")
 		dump       = flag.String("dump", "", "write the gate-level netlist to this file and exit")
 		fracBits   = flag.Int("frac", 8, "coefficient fractional bits")
+		spectral   = flag.Bool("spectral", false, "also run the pooled spectral-signature campaign")
+		noise      = flag.Float64("noise", 1.5, "input noise sigma (codes) for the spectral floor calibration")
+		seed       = flag.Int64("seed", 1, "seed for the spectral calibration capture")
 	)
 	flag.Parse()
 
@@ -106,6 +112,11 @@ func main() {
 			fmt.Printf("  %-12s tap %2d  max|diff| %d\n", r.Fault, r.Tap, r.MaxAbsDiff)
 		}
 	}
+	if *spectral {
+		if err := runSpectral(fir, u, xs, bins[:*tones], *noise, *seed); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *diagnose >= 0 {
 		if *diagnose >= u.Size() {
 			log.Fatalf("-diagnose index %d out of range [0,%d)", *diagnose, u.Size())
@@ -139,29 +150,88 @@ func main() {
 		}
 	}
 	if *topoff {
-		sum, err := atpg.Classify(fir.Circuit, rep.Undetected(), 5000)
+		runTopoff(fir, rep)
+	}
+}
+
+// runSpectral runs the spectral-signature campaign on the pooled
+// engine: the reference spectrum comes from the good machine on the
+// clean stimulus, the uncertainty floor is calibrated from the good
+// machine on a noise-dithered copy, and every fault's record is then
+// screened and transformed by the campaign workers.
+func runSpectral(fir *digital.FIR, u *fault.Universe, xs []int64, toneBins []int, sigma float64, seed int64) error {
+	n := len(xs)
+	const fs = 1e6 // label only: bins carry the comparison
+	sim := digital.NewFIRSim(fir)
+	good, err := sim.RunPeriodic(xs)
+	if err != nil {
+		return err
+	}
+	tones := make([]float64, len(toneBins))
+	for i, b := range toneBins {
+		tones[i] = float64(b) * fs / float64(n)
+	}
+	det, err := spectest.NewDetector(good, fs, tones, 4, 0, 3)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	noisy := make([]int64, n)
+	for i, x := range xs {
+		noisy[i] = x + int64(math.Round(rng.NormFloat64()*sigma))
+	}
+	sim2 := digital.NewFIRSim(fir)
+	goodNoisy, err := sim2.RunPeriodic(noisy)
+	if err != nil {
+		return err
+	}
+	if err := det.CalibrateFloor(goodNoisy, 1.5); err != nil {
+		return err
+	}
+	eng, err := campaign.New(u, det, campaign.Options{})
+	if err != nil {
+		return err
+	}
+	rep, stats, err := eng.Run(noisy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nspectral campaign (floor %.1f dBFS, noise sigma %g): %s\n",
+		det.FloorDBFS(), sigma, rep)
+	mode := "full per-batch simulation"
+	if stats.Differential {
+		mode = "differential cone replay"
+	}
+	fmt.Printf("engine: %d batches (%s), %d lanes zero-diff screened, %d memoized, %d spectra computed\n",
+		stats.Batches, mode, stats.Screened, stats.Memoized, stats.Spectra)
+	return nil
+}
+
+// runTopoff classifies the functional residue with PODEM and verifies
+// the generated sample bursts.
+func runTopoff(fir *digital.FIR, rep *fault.Report) {
+	sum, err := atpg.Classify(fir.Circuit, rep.Undetected(), 5000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nATPG top-off on the functional residue: %s\n", sum)
+	verified := 0
+	for _, r := range sum.Testable {
+		burst, err := atpg.PatternToSamples(fir, r.Pattern)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("\nATPG top-off on the functional residue: %s\n", sum)
-		verified := 0
-		for _, r := range sum.Testable {
-			burst, err := atpg.PatternToSamples(fir, r.Pattern)
-			if err != nil {
-				log.Fatal(err)
-			}
-			ok, err := atpg.VerifyPattern(fir, r.Fault, burst)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if ok {
-				verified++
-			}
+		ok, err := atpg.VerifyPattern(fir, r.Fault, burst)
+		if err != nil {
+			log.Fatal(err)
 		}
-		fmt.Printf("sample bursts verified: %d/%d\n", verified, len(sum.Testable))
-		total := len(rep.Results)
-		redundant := len(sum.Untestable)
-		fmt.Printf("effective coverage (excluding redundant faults): %.1f%%\n",
-			100*float64(rep.Detected())/float64(total-redundant))
+		if ok {
+			verified++
+		}
 	}
+	fmt.Printf("sample bursts verified: %d/%d\n", verified, len(sum.Testable))
+	total := len(rep.Results)
+	redundant := len(sum.Untestable)
+	fmt.Printf("effective coverage (excluding redundant faults): %.1f%%\n",
+		100*float64(rep.Detected())/float64(total-redundant))
 }

@@ -1,0 +1,389 @@
+// Package campaign is the pooled spectral fault-campaign engine: it
+// pipelines 63-lane gate-level record generation into a bounded pool
+// of spectral-detection workers, each owning a reusable FFT scratch
+// (window table, complex work buffer, float conversion buffer) keyed
+// off the shared dsp plan cache, so the per-fault hot path allocates
+// nothing.
+//
+// The engine also applies a zero-diff screen: a faulty record that is
+// identical to the good record has an identical spectrum, so its
+// spectral verdict equals the good record's own — computed once — and
+// the per-fault FFT is skipped entirely. On high-coverage stimuli a
+// large fraction of the residual faults never toggle the output, so
+// the screen removes a matching fraction of the transform work while
+// leaving the campaign Report bit-identical to the serial reference
+// path (fault.SerialSimulate with the same detector).
+//
+// Two further campaign-level reuses exploit that every batch drives
+// the same stimulus. Record generation is differential: the fault-free
+// machine's net values are captured once per step (digital.Baseline)
+// and each batch re-evaluates only the fanout cone of its 63 faults —
+// a small fraction of the circuit — instead of the whole netlist.
+// And detection is memoized: structurally inequivalent faults often
+// produce byte-identical output records, whose spectra and verdicts
+// are necessarily identical too, so each distinct record pays for at
+// most one transform. Both reuses are exact (no verdict can change)
+// and both can be disabled in Options for A/B measurement.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"mstx/internal/digital"
+	"mstx/internal/fault"
+	"mstx/internal/spectest"
+)
+
+// lanesPerBatch is the simulator's fault-lane capacity: 64 bit-lanes
+// with lane 0 reserved for the good machine.
+const lanesPerBatch = 63
+
+// Options configures the engine's pipeline shape.
+type Options struct {
+	// SimWorkers bounds the concurrent 63-lane simulator passes.
+	// Defaults to GOMAXPROCS.
+	SimWorkers int
+	// DetectWorkers bounds the spectral-detection pool (one FFT
+	// scratch per worker). Defaults to GOMAXPROCS.
+	DetectWorkers int
+	// Queue is the number of simulated batches allowed in flight
+	// between the two stages; it bounds the records held in memory.
+	// Defaults to DetectWorkers.
+	Queue int
+	// DisableScreen turns the zero-diff screen off (every lane pays
+	// its FFT); the screen is on by default and changes no verdict.
+	DisableScreen bool
+	// DisableDifferential turns cone-differential record generation
+	// off (every batch re-evaluates the full netlist per step). The
+	// differential path is on by default whenever the circuit compiles
+	// and the baseline snapshot fits the memory budget; it changes no
+	// record bit.
+	DisableDifferential bool
+	// DisableMemo turns record-verdict memoization off (byte-identical
+	// faulty records each pay their own transform); memoization is on
+	// by default and changes no verdict.
+	DisableMemo bool
+}
+
+// maxBaselineBytes caps the differential baseline snapshot (one bit
+// per net per record step); campaigns exceeding it fall back to full
+// per-batch simulation rather than ballooning memory.
+const maxBaselineBytes = 256 << 20
+
+// Stats reports what the engine actually did.
+type Stats struct {
+	// Faults is the universe size.
+	Faults int
+	// Batches is the number of 63-lane simulator passes.
+	Batches int
+	// Screened counts lanes resolved by the zero-diff screen.
+	Screened int
+	// Memoized counts lanes resolved by record-verdict memoization (a
+	// byte-identical record was already transformed).
+	Memoized int
+	// Spectra counts spectral evaluations actually performed,
+	// including the one good-record evaluation backing the screen.
+	Spectra int
+	// Differential reports whether record generation replayed fault
+	// cones against a shared baseline (false: full per-batch runs).
+	Differential bool
+}
+
+// Engine runs spectral stuck-at campaigns for one universe/detector
+// pair. It is cheap to construct; all heavy state is per-Run.
+type Engine struct {
+	U    *fault.Universe
+	Det  *spectest.Detector
+	Opts Options
+}
+
+// New builds an engine. The detector must already be calibrated;
+// construction validates nothing about the stimulus, which is supplied
+// per Run.
+func New(u *fault.Universe, det *spectest.Detector, opts Options) (*Engine, error) {
+	if u == nil {
+		return nil, fmt.Errorf("campaign: nil universe")
+	}
+	if det == nil {
+		return nil, fmt.Errorf("campaign: nil detector")
+	}
+	if opts.SimWorkers <= 0 {
+		opts.SimWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.DetectWorkers <= 0 {
+		opts.DetectWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = opts.DetectWorkers
+	}
+	return &Engine{U: u, Det: det, Opts: opts}, nil
+}
+
+// job is one simulated batch handed from the record-generation stage
+// to the detection pool.
+type job struct {
+	batch int
+	lo    int
+	good  []int64
+	lanes [][]int64
+}
+
+// Run executes the spectral campaign over one period of the (coherent)
+// stimulus xs and returns the per-fault Report — identical to
+// fault.SerialSimulate(u, xs, det) — together with engine statistics.
+// Detector errors abort the run and surface as campaign errors; the
+// first error in batch order is returned.
+func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
+	if len(xs) == 0 {
+		return nil, nil, fmt.Errorf("campaign: empty input record")
+	}
+	nf := len(e.U.Faults)
+	results := make([]fault.Result, nf)
+	nBatches := (nf + lanesPerBatch - 1) / lanesPerBatch
+	stats := &Stats{Faults: nf, Batches: nBatches}
+
+	// The screen's shared verdict: a zero-diff lane's spectrum is the
+	// good record's spectrum, so its verdict is the good record's. The
+	// good record is the same for every batch (lane 0 of each pass),
+	// so compute it — and its verdict — once up front. This also
+	// surfaces stimulus/detector length mismatches before any batch
+	// spins up. When the differential path is viable the same pass
+	// captures the per-step baseline snapshots every batch replays its
+	// fault cones against.
+	goodSim := digital.NewFIRSim(e.U.FIR)
+	var (
+		good []int64
+		base *digital.Baseline
+		err  error
+	)
+	useDiff := !e.Opts.DisableDifferential && goodSim.Compiled() &&
+		digital.BaselineBytes(e.U.FIR, len(xs)) <= maxBaselineBytes
+	if useDiff {
+		base, err = goodSim.CaptureBaseline(xs)
+		if err != nil {
+			return nil, nil, err
+		}
+		good = base.Good
+	} else {
+		good, err = goodSim.RunPeriodic(xs)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	stats.Differential = useDiff
+	goodDetected, err := e.Det.DetectRecord(good, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Spectra++
+
+	var (
+		screened int64
+		memoized int64
+		spectra  int64
+		failed   int32 // fast-fail flag; completion still drains cleanly
+	)
+	simErrs := make([]error, nBatches)
+	detErrs := make([]error, nBatches)
+	jobs := make(chan job, e.Opts.Queue)
+
+	// Stage 1: bounded record-generation pool. Batches are claimed
+	// from an atomic counter so at most SimWorkers goroutines exist.
+	var simWG sync.WaitGroup
+	simWorkers := e.Opts.SimWorkers
+	if simWorkers > nBatches {
+		simWorkers = nBatches
+	}
+	nextBatch := int64(-1)
+	for w := 0; w < simWorkers; w++ {
+		simWG.Add(1)
+		go func() {
+			defer simWG.Done()
+			for {
+				b := int(atomic.AddInt64(&nextBatch, 1))
+				if b >= nBatches {
+					return
+				}
+				if atomic.LoadInt32(&failed) != 0 {
+					continue
+				}
+				lo := b * lanesPerBatch
+				hi := lo + lanesPerBatch
+				if hi > nf {
+					hi = nf
+				}
+				var lanes [][]int64
+				var err error
+				if useDiff {
+					lanes, err = fault.RecordsFromBaseline(e.U, base, e.U.Faults[lo:hi])
+				} else {
+					_, lanes, err = fault.Records(e.U, xs, e.U.Faults[lo:hi])
+				}
+				if err != nil {
+					simErrs[b] = err
+					atomic.StoreInt32(&failed, 1)
+					continue
+				}
+				jobs <- job{batch: b, lo: lo, good: good, lanes: lanes}
+			}
+		}()
+	}
+	go func() {
+		simWG.Wait()
+		close(jobs)
+	}()
+
+	// Stage 2: detection pool. Each worker owns one scratch; lanes
+	// whose record matches the good record take the screened verdict
+	// without transforming, and byte-identical records share one
+	// memoized verdict.
+	var memo *memoTable
+	if !e.Opts.DisableMemo {
+		memo = newMemoTable()
+	}
+	var detWG sync.WaitGroup
+	for w := 0; w < e.Opts.DetectWorkers; w++ {
+		detWG.Add(1)
+		go func() {
+			defer detWG.Done()
+			var sc *spectest.Scratch
+			for j := range jobs {
+				if detErrs[j.batch] != nil || atomic.LoadInt32(&failed) != 0 {
+					continue
+				}
+				if sc == nil {
+					var err error
+					if sc, err = e.Det.NewScratch(); err != nil {
+						detErrs[j.batch] = err
+						atomic.StoreInt32(&failed, 1)
+						continue
+					}
+				}
+				for i, rec := range j.lanes {
+					f := e.U.Faults[j.lo+i]
+					res := fault.Result{Fault: f, Tap: e.U.FIR.TapOfNet(f.Net)}
+					res.FirstDiff, res.MaxAbsDiff = fault.DiffStats(j.good, rec)
+					if !e.Opts.DisableScreen && res.MaxAbsDiff == 0 {
+						res.Detected = goodDetected
+						atomic.AddInt64(&screened, 1)
+						results[j.lo+i] = res
+						continue
+					}
+					var h uint64
+					if memo != nil {
+						h = hashRecord(rec)
+						if d, ok := memo.lookup(h, rec); ok {
+							res.Detected = d
+							atomic.AddInt64(&memoized, 1)
+							results[j.lo+i] = res
+							continue
+						}
+					}
+					det, err := e.Det.DetectRecord(rec, sc)
+					if err != nil {
+						detErrs[j.batch] = err
+						atomic.StoreInt32(&failed, 1)
+						break
+					}
+					if memo != nil {
+						memo.insert(h, rec, det)
+					}
+					res.Detected = det
+					atomic.AddInt64(&spectra, 1)
+					results[j.lo+i] = res
+				}
+			}
+		}()
+	}
+	detWG.Wait()
+
+	for b := 0; b < nBatches; b++ {
+		if simErrs[b] != nil {
+			return nil, nil, simErrs[b]
+		}
+		if detErrs[b] != nil {
+			return nil, nil, detErrs[b]
+		}
+	}
+	stats.Screened = int(screened)
+	stats.Memoized = int(memoized)
+	stats.Spectra += int(spectra)
+	return &fault.Report{Results: results, Patterns: len(xs)}, stats, nil
+}
+
+// memoTable memoizes detection verdicts by record content. Hash
+// collisions are resolved by full record comparison, so a hit is an
+// exact byte-identical match and reusing its verdict cannot change any
+// result (the detector is a pure function of the record). Two workers
+// racing on the same record may both compute it — the table then keeps
+// one entry and the campaign merely loses one skip, never correctness.
+type memoTable struct {
+	mu      sync.Mutex
+	buckets map[uint64][]memoEntry
+	bytes   int
+}
+
+type memoEntry struct {
+	rec      []int64
+	detected bool
+}
+
+// maxMemoBytes caps the records the table keeps alive; beyond it,
+// lookups continue but new records are no longer retained.
+const maxMemoBytes = 256 << 20
+
+func newMemoTable() *memoTable {
+	return &memoTable{buckets: make(map[uint64][]memoEntry)}
+}
+
+// hashRecord is FNV-1a over the record words; collisions are fine
+// (lookup compares records in full) so word granularity suffices.
+func hashRecord(rec []int64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range rec {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func recordsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *memoTable) lookup(h uint64, rec []int64) (detected, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.buckets[h] {
+		if recordsEqual(e.rec, rec) {
+			return e.detected, true
+		}
+	}
+	return false, false
+}
+
+func (m *memoTable) insert(h uint64, rec []int64, detected bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.bytes+8*len(rec) > maxMemoBytes {
+		return
+	}
+	for _, e := range m.buckets[h] {
+		if recordsEqual(e.rec, rec) {
+			return
+		}
+	}
+	m.buckets[h] = append(m.buckets[h], memoEntry{rec: rec, detected: detected})
+	m.bytes += 8 * len(rec)
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mstx/internal/campaign"
 	"mstx/internal/digital"
 	"mstx/internal/fault"
 	"mstx/internal/msignal"
@@ -254,8 +255,10 @@ func (s *Synthesizer) BuildDigitalTest(opts DigitalTestOptions) (*DigitalTest, e
 		return nil, err
 	}
 	fs := s.Spec.ADCRate
-	f1 := snapBin(fs, opts.Patterns, opts.F1IF)
-	f2 := snapBin(fs, opts.Patterns, opts.F2IF)
+	f1, f2, err := snapTones(fs, opts.Patterns, opts.F1IF, opts.F2IF)
+	if err != nil {
+		return nil, err
+	}
 
 	// Ideal stimulus: the exact two-tone at the converter input,
 	// quantized by an ideal converter.
@@ -332,9 +335,31 @@ func (dt *DigitalTest) RunExact() (*fault.Report, error) {
 
 // RunSpectral runs the campaign with the calibrated spectral detector
 // on the realistic front-end capture — the paper's translated digital
-// test.
+// test. It executes on the pooled campaign engine (pipelined 63-lane
+// record generation, per-worker FFT scratch, zero-diff screening); the
+// report is identical to the serial reference path.
 func (dt *DigitalTest) RunSpectral() (*fault.Report, error) {
-	return fault.Simulate(dt.Universe, dt.RealisticCodes, dt.Detector)
+	rep, _, err := dt.RunSpectralStats()
+	return rep, err
+}
+
+// RunSpectralStats is RunSpectral, also returning the engine's
+// pipeline statistics (batches, screened lanes, spectra computed).
+func (dt *DigitalTest) RunSpectralStats() (*fault.Report, *campaign.Stats, error) {
+	eng, err := campaign.New(dt.Universe, dt.Detector, campaign.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	return eng.Run(dt.RealisticCodes)
+}
+
+// RunSpectralSeed runs the same spectral campaign through the unpooled
+// seed path — fault.SimulateRecords with the detector invoked inline
+// in each simulation batch, allocating a fresh window table and FFT
+// buffer per fault. It exists as the baseline for the campaign-engine
+// benchmark pair and for equivalence testing.
+func (dt *DigitalTest) RunSpectralSeed() (*fault.Report, error) {
+	return fault.SimulateRecords(dt.Universe, dt.RealisticCodes, dt.Detector)
 }
 
 func dspAlias(f, fs float64) float64 {
@@ -346,12 +371,42 @@ func dspAlias(f, fs float64) float64 {
 	return f
 }
 
-func snapBin(fs float64, n int, f float64) float64 {
+func snapBin(fs float64, n int, f float64) int {
 	bin := int(math.Round(f * float64(n) / fs))
 	if bin < 1 {
 		bin = 1
 	}
-	return float64(bin) * fs / float64(n)
+	return bin
+}
+
+// snapTones snaps the two IF tones to coherent bins while keeping them
+// distinct: with short records or close IF frequencies both tones can
+// round to the same bin, which degenerates the two-tone stimulus into
+// a single tone and double-excludes its guard band. On collision the
+// second tone is nudged to the adjacent bin (away from DC/Nyquist);
+// when no distinct in-band bin exists the record is too short for a
+// two-tone test and an error is returned.
+func snapTones(fs float64, n int, fa, fb float64) (float64, float64, error) {
+	maxBin := n/2 - 1 // strictly below Nyquist
+	ka := snapBin(fs, n, fa)
+	kb := snapBin(fs, n, fb)
+	if ka == kb {
+		if fb >= fa {
+			kb = ka + 1
+		} else {
+			kb = ka - 1
+		}
+		if kb < 1 || kb > maxBin {
+			// Nudge the other way before giving up.
+			kb = 2*ka - kb
+		}
+	}
+	if ka < 1 || ka > maxBin || kb < 1 || kb > maxBin || ka == kb {
+		return 0, 0, fmt.Errorf(
+			"core: IF tones %g and %g Hz collapse onto bin %d of the %d-point record (fs %g Hz); no distinct in-band bins",
+			fa, fb, ka, n, fs)
+	}
+	return float64(ka) * fs / float64(n), float64(kb) * fs / float64(n), nil
 }
 
 func scaleRecord(xs []float64, g float64) []float64 {

@@ -215,6 +215,63 @@ func TestBuildDigitalTestValidation(t *testing.T) {
 	}
 }
 
+func TestSnapTonesKeepsTonesDistinct(t *testing.T) {
+	fs := 32e6
+	// Plenty of resolution: both tones land on their own bins.
+	f1, f2, err := snapTones(fs, 4096, 0.9e6, 1.1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 == f2 {
+		t.Fatalf("tones snapped to the same frequency %g", f1)
+	}
+	// 64-point record: 0.9 and 1.1 MHz both round to bin 2 (bin width
+	// 500 kHz); the second tone must be nudged to the adjacent bin.
+	f1, f2, err = snapTones(fs, 64, 0.9e6, 1.1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binOf := func(f float64) int { return int(f * 64 / fs) }
+	if binOf(f1) == binOf(f2) {
+		t.Fatalf("collision not resolved: %g and %g on bin %d", f1, f2, binOf(f1))
+	}
+	if binOf(f2) != binOf(f1)+1 {
+		t.Errorf("second tone on bin %d, want adjacent bin %d", binOf(f2), binOf(f1)+1)
+	}
+	// Swapped order nudges downward instead.
+	g1, g2, err := snapTones(fs, 64, 1.1e6, 0.9e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binOf(g2) != binOf(g1)-1 {
+		t.Errorf("descending tones: second on bin %d, want %d", binOf(g2), binOf(g1)-1)
+	}
+	// A 4-point record has a single usable bin — no distinct pair
+	// exists and the build must refuse rather than degenerate to one
+	// tone.
+	if _, _, err := snapTones(fs, 4, 0.9e6, 1.1e6); err == nil {
+		t.Error("degenerate record accepted")
+	}
+}
+
+func TestBuildDigitalTestResolvesToneCollision(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gate-level build skipped in -short")
+	}
+	s := newSynth(t)
+	opts := DefaultDigitalTestOptions()
+	// 64 patterns put the default 0.9/1.1 MHz IF pair on the same bin;
+	// the build must keep two distinct stimulus tones.
+	opts.Patterns = 64
+	dt, err := s.BuildDigitalTest(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dt.ToneFreqs) != 2 || dt.ToneFreqs[0] == dt.ToneFreqs[1] {
+		t.Fatalf("degenerate two-tone stimulus: %v", dt.ToneFreqs)
+	}
+}
+
 func TestExecuteOnSampledDevices(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sampled-device sweep skipped in -short")

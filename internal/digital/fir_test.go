@@ -352,3 +352,85 @@ func BenchmarkFIRSimStep13Tap(b *testing.B) {
 		}
 	}
 }
+
+func TestRunLanesConeMatchesRunLanesPeriodic(t *testing.T) {
+	// The differential replay path must reproduce the full periodic
+	// 63-lane run bit for bit, for fault batches covering primary-input
+	// nets (forced side values) as well as gate outputs (cone gates).
+	fir, err := NewFIR([]int64{5, -11, 23, -11, 5}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := netlist.AllFaults(fir.Circuit)
+	rng := rand.New(rand.NewSource(31))
+	xs := make([]int64, 160)
+	for i := range xs {
+		xs[i] = int64(rng.Intn(400) - 200)
+	}
+	for trial := 0; trial < 4; trial++ {
+		var faults []netlist.Fault
+		for i := 0; i < 63 && i < len(all); i++ {
+			faults = append(faults, all[rng.Intn(len(all))])
+		}
+		ref := NewFIRSim(fir)
+		diff := NewFIRSim(fir)
+		for i, f := range faults {
+			mask := uint64(1) << uint(i+1)
+			if err := ref.InjectFault(f, mask); err != nil {
+				t.Fatal(err)
+			}
+			if err := diff.InjectFault(f, mask); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := ref.RunLanesPeriodic(xs, len(faults)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := NewFIRSim(fir).CaptureBaseline(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := diff.RunLanesCone(base, len(faults)+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for l := range want {
+			for n := range want[l] {
+				if got[l][n] != want[l][n] {
+					t.Fatalf("trial %d lane %d sample %d: cone %d full %d",
+						trial, l, n, got[l][n], want[l][n])
+				}
+			}
+		}
+	}
+}
+
+func TestCaptureBaselineGoodRecord(t *testing.T) {
+	// The baseline's Good record is the ordinary periodic response.
+	fir, err := NewFIR([]int64{3, 7, 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]int64, 64)
+	for i := range xs {
+		xs[i] = int64(40 * math.Sin(2*math.Pi*5*float64(i)/64))
+	}
+	base, err := NewFIRSim(fir).CaptureBaseline(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewFIRSim(fir).RunPeriodic(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if base.Good[i] != want[i] {
+			t.Fatalf("sample %d: baseline good %d, RunPeriodic %d", i, base.Good[i], want[i])
+		}
+	}
+	want8 := len(xs) * netlist.BitWords(fir.Circuit.NumNets()) * 8
+	if BaselineBytes(fir, len(xs)) != want8 {
+		t.Errorf("BaselineBytes = %d, want %d", BaselineBytes(fir, len(xs)), want8)
+	}
+}

@@ -79,6 +79,14 @@ func (p *Plan) Transform(x []complex128) error {
 // planCache shares plans between callers; plans are immutable.
 var planCache sync.Map // int -> *Plan
 
+// SharedPlan returns the process-wide cached plan for length n (a
+// power of two). Plans are immutable and safe to share between
+// goroutines, so campaign workers key their scratch buffers off this
+// cache instead of rebuilding twiddle tables per worker.
+func SharedPlan(n int) (*Plan, error) {
+	return cachedPlan(n)
+}
+
 // cachedPlan returns the shared plan for length n.
 func cachedPlan(n int) (*Plan, error) {
 	if v, ok := planCache.Load(n); ok {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"mstx/internal/digital"
 	"mstx/internal/netlist"
@@ -113,11 +114,14 @@ func (r *Report) String() string {
 // Detector decides, given the good and faulty output records, whether
 // the fault is considered detected. ExactDetector is the ideal-input
 // case; package spectest provides the spectral detector used when the
-// stimulus arrives through a noisy analog front end.
+// stimulus arrives through a noisy analog front end. A detector error
+// aborts the campaign: a verdict the detector could not actually reach
+// must fail loudly rather than be counted as an undetected fault and
+// silently skew coverage.
 type Detector interface {
 	// Detect reports whether the faulty record is distinguishable from
 	// the good record.
-	Detect(good, faulty []int64) bool
+	Detect(good, faulty []int64) (bool, error)
 }
 
 // ExactDetector declares a fault detected when any output sample
@@ -130,17 +134,81 @@ type ExactDetector struct {
 }
 
 // Detect implements Detector.
-func (d ExactDetector) Detect(good, faulty []int64) bool {
+func (d ExactDetector) Detect(good, faulty []int64) (bool, error) {
 	for i := range good {
 		diff := faulty[i] - good[i]
 		if diff < 0 {
 			diff = -diff
 		}
 		if diff > d.Threshold {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
+}
+
+// DiffStats returns the sample index of the first difference between
+// the good and faulty records (-1 when identical) and the largest
+// absolute difference. It is the shared diff accounting of the batch,
+// serial, and campaign engines — the campaign zero-diff screen keys
+// off maxAbs == 0.
+func DiffStats(good, faulty []int64) (firstDiff int, maxAbs int64) {
+	firstDiff = -1
+	for n := range good {
+		d := faulty[n] - good[n]
+		if d < 0 {
+			d = -d
+		}
+		if d > 0 && firstDiff < 0 {
+			firstDiff = n
+		}
+		if d > maxAbs {
+			maxAbs = d
+		}
+	}
+	return firstDiff, maxAbs
+}
+
+// runBatches runs fn(batch) for every batch in [0, nBatches) on a
+// bounded pool of at most `workers` goroutines and returns the first
+// error in batch order. Unlike the seed implementation — which spawned
+// every batch goroutine up front and only then gated them on a
+// semaphore, and whose error channel surfaced whichever failing batch
+// lost the race — the pool never holds more than `workers` goroutines
+// alive and its error choice is deterministic.
+func runBatches(nBatches, workers int, fn func(batch int) error) error {
+	if nBatches <= 0 {
+		return nil
+	}
+	if workers > nBatches {
+		workers = nBatches
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	errs := make([]error, nBatches)
+	next := int64(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(atomic.AddInt64(&next, 1))
+				if b >= nBatches {
+					return
+				}
+				errs[b] = fn(b)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Simulate runs every fault in the universe against the input record
@@ -161,29 +229,15 @@ func Simulate(u *Universe, xs []int64, det Detector) (*Report, error) {
 	results := make([]Result, nf)
 	const lanesPerBatch = 63
 	nBatches := (nf + lanesPerBatch - 1) / lanesPerBatch
-
-	var wg sync.WaitGroup
-	errCh := make(chan error, nBatches)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for batch := 0; batch < nBatches; batch++ {
+	err := runBatches(nBatches, runtime.GOMAXPROCS(0), func(batch int) error {
 		lo := batch * lanesPerBatch
 		hi := lo + lanesPerBatch
 		if hi > nf {
 			hi = nf
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := simulateBatch(u, xs, det, results[lo:hi], u.Faults[lo:hi]); err != nil {
-				errCh <- err
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
+		return simulateBatch(u, xs, det, results[lo:hi], u.Faults[lo:hi])
+	})
+	if err != nil {
 		return nil, err
 	}
 	return &Report{Results: results, Patterns: len(xs)}, nil
@@ -205,23 +259,14 @@ func simulateBatch(u *Universe, xs []int64, det Detector, out []Result, faults [
 	for i, f := range faults {
 		faulty := lanes[i+1]
 		res := Result{
-			Fault:     f,
-			FirstDiff: -1,
-			Tap:       u.FIR.TapOfNet(f.Net),
+			Fault: f,
+			Tap:   u.FIR.TapOfNet(f.Net),
 		}
-		for n := range good {
-			d := faulty[n] - good[n]
-			if d < 0 {
-				d = -d
-			}
-			if d > 0 && res.FirstDiff < 0 {
-				res.FirstDiff = n
-			}
-			if d > res.MaxAbsDiff {
-				res.MaxAbsDiff = d
-			}
+		res.FirstDiff, res.MaxAbsDiff = DiffStats(good, faulty)
+		res.Detected, err = det.Detect(good, faulty)
+		if err != nil {
+			return err
 		}
-		res.Detected = det.Detect(good, faulty)
 		out[i] = res
 	}
 	return nil
@@ -246,6 +291,29 @@ func Records(u *Universe, xs []int64, faults []netlist.Fault) (good []int64, fau
 		return nil, nil, err
 	}
 	return lanes[0], lanes[1:], nil
+}
+
+// RecordsFromBaseline is Records replayed differentially against a
+// fault-free baseline captured from the same periodic stimulus (see
+// digital.CaptureBaseline): per step only the fanout cone of the
+// batch's faults is re-evaluated, which on typical FIR universes is a
+// small fraction of the circuit. The returned faulty records are
+// bit-identical to Records' (the good record is base.Good).
+func RecordsFromBaseline(u *Universe, base *digital.Baseline, faults []netlist.Fault) ([][]int64, error) {
+	if len(faults) > 63 {
+		return nil, fmt.Errorf("fault: RecordsFromBaseline limited to 63 faults per pass, got %d", len(faults))
+	}
+	sim := digital.NewFIRSim(u.FIR)
+	for i, f := range faults {
+		if err := sim.InjectFault(f, 1<<uint(i+1)); err != nil {
+			return nil, err
+		}
+	}
+	lanes, err := sim.RunLanesCone(base, len(faults)+1)
+	if err != nil {
+		return nil, err
+	}
+	return lanes[1:], nil
 }
 
 // RecordDetector is a Detector that additionally wants the record pair
@@ -286,20 +354,12 @@ func SerialSimulate(u *Universe, xs []int64, det Detector) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := Result{Fault: f, FirstDiff: -1, Tap: u.FIR.TapOfNet(f.Net)}
-		for n := range goodRec {
-			d := faulty[n] - goodRec[n]
-			if d < 0 {
-				d = -d
-			}
-			if d > 0 && res.FirstDiff < 0 {
-				res.FirstDiff = n
-			}
-			if d > res.MaxAbsDiff {
-				res.MaxAbsDiff = d
-			}
+		res := Result{Fault: f, Tap: u.FIR.TapOfNet(f.Net)}
+		res.FirstDiff, res.MaxAbsDiff = DiffStats(goodRec, faulty)
+		res.Detected, err = det.Detect(goodRec, faulty)
+		if err != nil {
+			return nil, err
 		}
-		res.Detected = det.Detect(goodRec, faulty)
 		results[i] = res
 	}
 	return &Report{Results: results, Patterns: len(xs)}, nil
@@ -357,28 +417,15 @@ func detectOnlyOnePass(u *Universe, xs, warmSrc []int64) ([]bool, error) {
 	detected := make([]bool, nf)
 	const lanesPerBatch = 63
 	nBatches := (nf + lanesPerBatch - 1) / lanesPerBatch
-	var wg sync.WaitGroup
-	errCh := make(chan error, nBatches)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for batch := 0; batch < nBatches; batch++ {
+	err := runBatches(nBatches, runtime.GOMAXPROCS(0), func(batch int) error {
 		lo := batch * lanesPerBatch
 		hi := lo + lanesPerBatch
 		if hi > nf {
 			hi = nf
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := detectBatch(u, xs, warmSrc, detected[lo:hi], u.Faults[lo:hi]); err != nil {
-				errCh <- err
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
+		return detectBatch(u, xs, warmSrc, detected[lo:hi], u.Faults[lo:hi])
+	})
+	if err != nil {
 		return nil, err
 	}
 	return detected, nil

@@ -1,9 +1,13 @@
 package fault
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mstx/internal/digital"
 	"mstx/internal/netlist"
@@ -99,17 +103,91 @@ func TestSerialMatchesParallel(t *testing.T) {
 func TestExactDetectorThreshold(t *testing.T) {
 	good := []int64{0, 10, 20}
 	faulty := []int64{0, 12, 20}
-	if !(ExactDetector{}).Detect(good, faulty) {
+	mustDetect := func(d ExactDetector, g, f []int64) bool {
+		t.Helper()
+		det, err := d.Detect(g, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return det
+	}
+	if !mustDetect(ExactDetector{}, good, faulty) {
 		t.Error("threshold 0 missed a 2-LSB diff")
 	}
-	if (ExactDetector{Threshold: 2}).Detect(good, faulty) {
+	if mustDetect(ExactDetector{Threshold: 2}, good, faulty) {
 		t.Error("threshold 2 detected a 2-LSB diff (must require >)")
 	}
-	if !(ExactDetector{Threshold: 1}).Detect(good, faulty) {
+	if !mustDetect(ExactDetector{Threshold: 1}, good, faulty) {
 		t.Error("threshold 1 missed a 2-LSB diff")
 	}
-	if (ExactDetector{}).Detect(good, good) {
+	if mustDetect(ExactDetector{}, good, good) {
 		t.Error("identical records detected")
+	}
+}
+
+// errDetector fails on every record pair; campaigns must surface the
+// failure instead of counting phantom undetected faults.
+type errDetector struct{}
+
+func (errDetector) Detect(good, faulty []int64) (bool, error) {
+	return false, errors.New("detector exploded")
+}
+
+func TestSimulateSurfacesDetectorErrors(t *testing.T) {
+	fir := smallFIR(t)
+	u := NewUniverse(fir, true)
+	xs := sineRecord(64, 20, 3)
+	if _, err := Simulate(u, xs, errDetector{}); err == nil || !strings.Contains(err.Error(), "detector exploded") {
+		t.Errorf("Simulate swallowed the detector error: %v", err)
+	}
+	if _, err := SerialSimulate(u, xs, errDetector{}); err == nil || !strings.Contains(err.Error(), "detector exploded") {
+		t.Errorf("SerialSimulate swallowed the detector error: %v", err)
+	}
+}
+
+func TestRunBatchesFirstErrorByBatchOrder(t *testing.T) {
+	// Several batches fail; the returned error must deterministically
+	// be the lowest-numbered one, regardless of completion order.
+	for trial := 0; trial < 25; trial++ {
+		var live int32
+		var peak int32
+		err := runBatches(16, 4, func(b int) error {
+			n := atomic.AddInt32(&live, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+					break
+				}
+			}
+			defer atomic.AddInt32(&live, -1)
+			switch b {
+			case 3:
+				// Delay the earliest failure so a later one tends to
+				// land first.
+				time.Sleep(2 * time.Millisecond)
+				return fmt.Errorf("batch 3 failed")
+			case 11:
+				return fmt.Errorf("batch 11 failed")
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "batch 3 failed" {
+			t.Fatalf("trial %d: got %v, want the batch-3 error", trial, err)
+		}
+		if p := atomic.LoadInt32(&peak); p > 4 {
+			t.Fatalf("trial %d: %d batch goroutines live at once; pool must be bounded at 4", trial, p)
+		}
+	}
+	if err := runBatches(0, 4, func(int) error { return errors.New("never") }); err != nil {
+		t.Errorf("zero batches returned %v", err)
+	}
+	// More workers than batches must not deadlock or skip work.
+	var ran int32
+	if err := runBatches(3, 64, func(int) error { atomic.AddInt32(&ran, 1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Errorf("ran %d batches, want 3", ran)
 	}
 }
 

@@ -46,6 +46,10 @@ type Simulator struct {
 	forced1 []uint64
 	// dirtyNets tracks nets with nonzero masks so Clear is O(active).
 	dirtyNets []NetID
+	// prog is the compiled instruction stream (see compiled.go); nil
+	// when the circuit holds a gate type the compiler does not know,
+	// which routes runGates through the interpreting fallback.
+	prog *program
 }
 
 // NewSimulator returns a simulator for c. The circuit must be valid
@@ -56,17 +60,25 @@ func NewSimulator(c *Circuit) *Simulator {
 		values:  make([]uint64, c.NumNets()),
 		forced0: make([]uint64, c.NumNets()),
 		forced1: make([]uint64, c.NumNets()),
+		prog:    compileProgram(c),
 	}
 }
 
 // Circuit returns the simulated circuit.
 func (s *Simulator) Circuit() *Circuit { return s.c }
 
+// Compiled reports whether the circuit was lowered to the compiled
+// instruction stream (required for cone-differential replay).
+func (s *Simulator) Compiled() bool { return s.prog != nil }
+
 // ClearFaults removes all injected faults.
 func (s *Simulator) ClearFaults() {
 	for _, n := range s.dirtyNets {
 		s.forced0[n] = 0
 		s.forced1[n] = 0
+		if s.prog != nil {
+			s.prog.setForced(n, false)
+		}
 	}
 	s.dirtyNets = s.dirtyNets[:0]
 }
@@ -80,6 +92,9 @@ func (s *Simulator) InjectFault(f Fault, laneMask uint64) error {
 	}
 	if s.forced0[f.Net] == 0 && s.forced1[f.Net] == 0 {
 		s.dirtyNets = append(s.dirtyNets, f.Net)
+	}
+	if s.prog != nil {
+		s.prog.setForced(f.Net, true)
 	}
 	if f.Stuck == StuckAt0 {
 		s.forced0[f.Net] |= laneMask
@@ -116,8 +131,15 @@ func (s *Simulator) Run(inputs []uint64) ([]uint64, error) {
 }
 
 // runGates evaluates the combinational gates in topological order,
-// applying fault overrides.
+// applying fault overrides. The compiled stream is the hot path; the
+// Gate-slice interpreter below remains as the fallback for circuits
+// the compiler refused (and is the reference the compiled path is
+// tested against).
 func (s *Simulator) runGates() error {
+	if s.prog != nil {
+		s.runCompiled()
+		return nil
+	}
 	for _, g := range s.c.Gates {
 		var v uint64
 		switch g.Type {

@@ -18,7 +18,10 @@ import (
 
 // Detector is a fault.Detector that compares output spectra. It is
 // built once from the ideal-stimulus good-circuit record and reused
-// for every fault.
+// for every fault. After construction and calibration (NewDetector,
+// ExcludeFrequency, CalibrateFloor) the detector is immutable and safe
+// for concurrent detection from many goroutines; workers that want the
+// allocation-free hot path pair it with a per-goroutine Scratch.
 type Detector struct {
 	// SampleRate labels spectrum bins, Hz.
 	SampleRate float64
@@ -199,17 +202,44 @@ func (d *Detector) normalize(s *dsp.Spectrum) {
 	}
 }
 
-// Deviation returns the largest per-bin spectral deviation of the
-// record from the reference over the compared bins, and the bin it
-// occurred at.
-func (d *Detector) Deviation(rec []int64) (float64, int, error) {
-	if len(rec) != d.n {
-		return 0, 0, fmt.Errorf("spectest: record length %d != reference %d", len(rec), d.n)
-	}
-	s, err := spectrumOf(rec, d.SampleRate)
+// Scratch holds the per-worker reusable buffers for allocation-free
+// detection: the float conversion buffer and the windowed-FFT scratch
+// (window table, complex work buffer, power buffer) keyed off the
+// shared dsp plan cache. A Scratch is not safe for concurrent use;
+// create one per goroutine with NewScratch.
+type Scratch struct {
+	f  []float64
+	ss *dsp.SpectrumScratch
+}
+
+// NewScratch builds a scratch sized for this detector's record length.
+func (d *Detector) NewScratch() (*Scratch, error) {
+	ss, err := dsp.NewSpectrumScratch(d.n, dsp.BlackmanHarris)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
+	return &Scratch{f: make([]float64, d.n), ss: ss}, nil
+}
+
+// spectrumFor computes the comparison spectrum of rec, through the
+// scratch when one is supplied (allocation-free, bit-identical) or the
+// allocating spectrumOf path when sc is nil.
+func (d *Detector) spectrumFor(rec []int64, sc *Scratch) (*dsp.Spectrum, error) {
+	if sc == nil {
+		return spectrumOf(rec, d.SampleRate)
+	}
+	if len(sc.f) != len(rec) {
+		return nil, fmt.Errorf("spectest: scratch length %d != record %d", len(sc.f), len(rec))
+	}
+	for i, v := range rec {
+		sc.f[i] = float64(v)
+	}
+	return sc.ss.PowerSpectrum(sc.f, d.SampleRate)
+}
+
+// deviationOf normalizes s in place and returns the largest per-bin
+// deviation from the reference over the compared bins and its bin.
+func (d *Detector) deviationOf(s *dsp.Spectrum) (float64, int) {
 	d.normalize(s)
 	worst, worstBin := 0.0, -1
 	for k := range s.Power {
@@ -221,7 +251,41 @@ func (d *Detector) Deviation(rec []int64) (float64, int, error) {
 			worst, worstBin = dev, k
 		}
 	}
+	return worst, worstBin
+}
+
+// Deviation returns the largest per-bin spectral deviation of the
+// record from the reference over the compared bins, and the bin it
+// occurred at.
+func (d *Detector) Deviation(rec []int64) (float64, int, error) {
+	return d.DeviationScratch(rec, nil)
+}
+
+// DeviationScratch is Deviation through a worker's reusable scratch
+// buffers; sc may be nil, in which case temporaries are allocated.
+func (d *Detector) DeviationScratch(rec []int64, sc *Scratch) (float64, int, error) {
+	if len(rec) != d.n {
+		return 0, 0, fmt.Errorf("spectest: record length %d != reference %d", len(rec), d.n)
+	}
+	s, err := d.spectrumFor(rec, sc)
+	if err != nil {
+		return 0, 0, err
+	}
+	worst, worstBin := d.deviationOf(s)
 	return worst, worstBin, nil
+}
+
+// DetectRecord reports whether the record's spectrum deviates from the
+// ideal-good reference by more than the floor-derived threshold in at
+// least one compared bin. Unlike the legacy bool-only path, detector
+// failures (record-length mismatch, spectrum errors) surface as errors
+// instead of masquerading as undetected faults. sc may be nil.
+func (d *Detector) DetectRecord(rec []int64, sc *Scratch) (bool, error) {
+	dev, _, err := d.DeviationScratch(rec, sc)
+	if err != nil {
+		return false, err
+	}
+	return dev > d.threshold(), nil
 }
 
 // Detect implements fault.Detector: the faulty record's spectrum must
@@ -229,12 +293,8 @@ func (d *Detector) Deviation(rec []int64) (float64, int, error) {
 // threshold in at least one compared bin. The good record passed by
 // the fault simulator is ignored — the reference is the ideal-input
 // good circuit, as in the paper's methodology.
-func (d *Detector) Detect(good, faulty []int64) bool {
-	dev, _, err := d.Deviation(faulty)
-	if err != nil {
-		return false
-	}
-	return dev > d.threshold()
+func (d *Detector) Detect(good, faulty []int64) (bool, error) {
+	return d.DetectRecord(faulty, nil)
 }
 
 // ComparedBins returns how many spectrum bins participate in the

@@ -3,6 +3,7 @@ package spectest
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"mstx/internal/digital"
@@ -69,7 +70,9 @@ func TestHealthyNoisyDevicePasses(t *testing.T) {
 		t.Fatal("floor not calibrated")
 	}
 	// The noisy-but-healthy record must not be flagged: yield.
-	if det.Detect(goodIdeal, goodNoisy) {
+	if flagged, err := det.Detect(goodIdeal, goodNoisy); err != nil {
+		t.Fatal(err)
+	} else if flagged {
 		t.Error("healthy noisy device flagged as faulty")
 	}
 	if det.ComparedBins() <= 0 {
@@ -99,7 +102,9 @@ func TestGrossFaultDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !det.Detect(goodIdeal, faulty) {
+	if detected, err := det.Detect(goodIdeal, faulty); err != nil {
+		t.Fatal(err)
+	} else if !detected {
 		t.Error("gross fault escaped the spectral test")
 	}
 }
@@ -120,7 +125,9 @@ func TestTinyFaultBelowFloorEscapes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if det.Detect(goodIdeal, faulty) {
+	if detected, err := det.Detect(goodIdeal, faulty); err != nil {
+		t.Fatal(err)
+	} else if detected {
 		t.Error("LSB fault detected despite a floor far above it")
 	}
 }
@@ -176,8 +183,12 @@ func TestDeviationLengthMismatch(t *testing.T) {
 	if _, _, err := det.Deviation(make([]int64, 100)); err == nil {
 		t.Error("length mismatch accepted")
 	}
-	if det.Detect(nil, make([]int64, 100)) {
-		t.Error("mismatched record detected as faulty")
+	// A mismatched record must fail loudly, not read as undetected.
+	if _, err := det.Detect(nil, make([]int64, 100)); err == nil {
+		t.Error("mismatched record did not surface an error")
+	}
+	if _, err := det.DetectRecord(make([]int64, 100), nil); err == nil {
+		t.Error("DetectRecord length mismatch did not surface an error")
 	}
 }
 
@@ -193,6 +204,130 @@ func TestCalibrateFloorValidation(t *testing.T) {
 	if err := det.CalibrateFloor(make([]int64, 100), 2); err == nil {
 		t.Error("length mismatch accepted")
 	}
+	// A guard band wide enough to swallow the whole spectrum leaves
+	// nothing to compare: calibration must refuse, not return a zero
+	// floor.
+	wide, err := NewDetector(goodIdeal, fs, tones, len(goodIdeal), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wide.CalibrateFloor(goodNoisy, 1.5); err == nil {
+		t.Error("every-bin-excluded calibration accepted")
+	}
+}
+
+func TestScratchPathBitIdentical(t *testing.T) {
+	fir, ideal, goodIdeal, goodNoisy, tones, fs := buildFilterAndRecords(t, 512)
+	det, err := NewDetector(goodIdeal, fs, tones, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.CalibrateFloor(goodNoisy, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := det.NewScratch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := digital.NewFIRSim(fir)
+	if err := sim.InjectFault(netlist.Fault{Net: fir.OutBus[2], Stuck: netlist.StuckAt1}, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := sim.RunPeriodic(ideal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range [][]int64{goodNoisy, faulty, goodIdeal} {
+		devPlain, binPlain, err := det.Deviation(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devScr, binScr, err := det.DeviationScratch(rec, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if devPlain != devScr || binPlain != binScr {
+			t.Fatalf("scratch deviation (%g, %d) != plain (%g, %d) — paths must be bit-identical",
+				devScr, binScr, devPlain, binPlain)
+		}
+		dPlain, err := det.DetectRecord(rec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dScr, err := det.DetectRecord(rec, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dPlain != dScr {
+			t.Fatalf("scratch verdict %v != plain verdict %v", dScr, dPlain)
+		}
+	}
+}
+
+func TestDetectorConcurrentDetection(t *testing.T) {
+	// A calibrated detector is shared read-only by the campaign pool;
+	// this must be race-free (run under -race) and verdict-stable.
+	fir, ideal, goodIdeal, goodNoisy, tones, fs := buildFilterAndRecords(t, 512)
+	det, err := NewDetector(goodIdeal, fs, tones, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.CalibrateFloor(goodNoisy, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	var records [][]int64
+	var want []bool
+	for bit := 0; bit < 4; bit++ {
+		sim := digital.NewFIRSim(fir)
+		if err := sim.InjectFault(netlist.Fault{Net: fir.OutBus[bit], Stuck: netlist.StuckAt1}, ^uint64(0)); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := sim.RunPeriodic(ideal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, rec)
+	}
+	records = append(records, goodNoisy, goodIdeal)
+	for _, rec := range records {
+		v, err := det.DetectRecord(rec, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, v)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			sc, err := det.NewScratch()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for iter := 0; iter < 20; iter++ {
+				for i, rec := range records {
+					// Odd workers exercise the allocating path so the
+					// two hot paths race against each other too.
+					use := sc
+					if worker%2 == 1 {
+						use = nil
+					}
+					got, err := det.DetectRecord(rec, use)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got != want[i] {
+						t.Errorf("worker %d: record %d verdict %v, want %v", worker, i, got, want[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func TestGuardBinsExcludeTones(t *testing.T) {

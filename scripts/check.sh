@@ -1,0 +1,21 @@
+#!/bin/sh
+# Pre-merge gate: vet, build, race-enabled tests, and a short smoke of
+# the spectral-campaign benchmark pair (3 iterations each — enough to
+# catch a broken pipeline or a report mismatch, not a perf measurement;
+# run the pair with a larger -benchtime for real numbers).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke (spectral campaign pair) =="
+go test -run '^$' -bench 'BenchmarkSpectralCampaign' -benchtime 3x .
+
+echo "== check OK =="
