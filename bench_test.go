@@ -292,18 +292,70 @@ func BenchmarkLossAnalyticVsMC(b *testing.B) {
 	p := tolerance.Normal{Mean: 10, Sigma: 1}
 	e := tolerance.Normal{Sigma: 0.4}
 	spec := tolerance.LowerLimit(8.5)
-	rng := rand.New(rand.NewSource(2))
 	var gap float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		an := tolerance.AnalyticLosses(p, e, spec, spec)
-		mc, err := tolerance.MonteCarloLosses(p, e, spec, spec, 50000, rng)
+		mc, err := tolerance.MonteCarloLosses(p, e, spec, spec, 50000, 2, tolerance.MCOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
 		gap = math.Abs(an.FCL - mc.FCL)
 	}
 	b.ReportMetric(gap, "FCL-gap")
+}
+
+// mcLossesCase is the shared 400k-sample workload of the MCLosses
+// benchmark pair: an IIP3-like lower-bound spec with measurement
+// error, the configuration the translate layer estimates all day.
+func mcLossesCase() (p, e tolerance.Normal, spec tolerance.SpecLimit, n int) {
+	return tolerance.Normal{Mean: 10, Sigma: 1},
+		tolerance.Normal{Sigma: 0.3},
+		tolerance.LowerLimit(8.5),
+		400000
+}
+
+// BenchmarkMCLossesEngine measures the sharded Monte-Carlo engine on
+// the 400k-sample loss estimation with confidence-interval early
+// stopping at an explicit ±0.01 absolute 95% half-width on both FCL
+// and YL (threshold decisions in the planner are made at percent
+// scale). Reported metrics: samples/s — requested samples over wall
+// time, the planner-visible effective throughput: the engine resolves
+// the estimate to the CI target after a fraction of the requested
+// draws, and the worker pool multiplies the rate further on multi-core
+// hosts — and the draws actually spent, so the early-stop fraction is
+// visible. Compare BenchmarkMCLossesSerial, which draws all 400k;
+// bit-identity between the two paths at equal options is pinned by
+// TestParallelBitIdenticalToSerial.
+func BenchmarkMCLossesEngine(b *testing.B) {
+	p, e, spec, n := mcLossesCase()
+	opts := tolerance.MCOptions{CheckEvery: 2, TargetHalfWidth: 0.01}
+	var drawn int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est, err := tolerance.MonteCarloLosses(p, e, spec, spec, n, 41, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		drawn = est.Samples
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	b.ReportMetric(float64(drawn), "drawn")
+}
+
+// BenchmarkMCLossesSerial is the serial reference path over the same
+// 400k-sample case, every sample drawn. Reported metric: samples/s.
+func BenchmarkMCLossesSerial(b *testing.B) {
+	p, e, spec, n := mcLossesCase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tolerance.SerialMonteCarloLosses(p, e, spec, spec, n, 41, tolerance.MCOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
 }
 
 // BenchmarkFIRBuildBinary builds the 13-tap gate-level filter with

@@ -5,48 +5,70 @@
 // Usage:
 //
 //	experiments [-fig1] [-tones] [-fig2] [-fig3] [-fig4] [-table1]
-//	            [-table2] [-path] [-fig6] [-quick]
+//	            [-table2] [-path] [-fig6] [-topoff] [-quick]
+//	            [-workers K] [-list]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"mstx/internal/experiments"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("experiments: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: parse args, run the selected
+// experiments, return the exit code (0 ok, 1 failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig1   = flag.Bool("fig1", false, "E1: output spectra of the faulty 16-tap filter (Figure 1)")
-		tones  = flag.Bool("tones", false, "E2: fault coverage vs. number of stimulus tones (§3)")
-		fig2   = flag.Bool("fig2", false, "E3: parameter distribution and loss regions (Figure 2)")
-		fig3   = flag.Bool("fig3", false, "E4: composition boundary checks (Figure 3)")
-		fig4   = flag.Bool("fig4", false, "E5: IIP3 accuracy by translation method (Figure 4)")
-		table1 = flag.Bool("table1", false, "E7: synthesized test plan (Table 1)")
-		table2 = flag.Bool("table2", false, "E6: FCL/YL threshold sweep (Table 2)")
-		pathE  = flag.Bool("path", false, "E8: digital filter tested through the analog path (§5)")
-		fig6   = flag.Bool("fig6", false, "E9: experimental set-up attribute walk (Figure 6)")
-		topoff = flag.Bool("topoff", false, "E10: ATPG top-off of the functional residue (DFT reduction)")
-		quick  = flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+		fig1    = fs.Bool("fig1", false, "E1: output spectra of the faulty 16-tap filter (Figure 1)")
+		tones   = fs.Bool("tones", false, "E2: fault coverage vs. number of stimulus tones (§3)")
+		fig2    = fs.Bool("fig2", false, "E3: parameter distribution and loss regions (Figure 2)")
+		fig3    = fs.Bool("fig3", false, "E4: composition boundary checks (Figure 3)")
+		fig4    = fs.Bool("fig4", false, "E5: IIP3 accuracy by translation method (Figure 4)")
+		table1  = fs.Bool("table1", false, "E7: synthesized test plan (Table 1)")
+		table2  = fs.Bool("table2", false, "E6: FCL/YL threshold sweep (Table 2)")
+		pathE   = fs.Bool("path", false, "E8: digital filter tested through the analog path (§5)")
+		fig6    = fs.Bool("fig6", false, "E9: experimental set-up attribute walk (Figure 6)")
+		topoff  = fs.Bool("topoff", false, "E10: ATPG top-off of the functional residue (DFT reduction)")
+		quick   = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
+		workers = fs.Int("workers", 0, "Monte-Carlo worker fan-out for E5/E6 (0 = GOMAXPROCS; results identical for any value)")
+		list    = fs.Bool("list", false, "print the selected experiment IDs without running them")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "experiments: unexpected arguments: %q\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
 
 	all := !(*fig1 || *tones || *fig2 || *fig3 || *fig4 || *table1 || *table2 || *pathE || *fig6 || *topoff)
+	failed := false
 	run := func(enabled bool, id, title string, f func() (interface{ Format() string }, error)) {
-		if !enabled && !all {
+		if (!enabled && !all) || failed {
 			return
 		}
-		fmt.Printf("==== %s — %s ====\n", id, title)
+		if *list {
+			fmt.Fprintf(stdout, "%s — %s\n", id, title)
+			return
+		}
+		fmt.Fprintf(stdout, "==== %s — %s ====\n", id, title)
 		res, err := f()
 		if err != nil {
-			log.Printf("%s failed: %v", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "experiments: %s failed: %v\n", id, err)
+			failed = true
+			return
 		}
-		fmt.Println(res.Format())
+		fmt.Fprintln(stdout, res.Format())
 	}
 
 	patterns := 0 // experiment defaults
@@ -76,11 +98,11 @@ func main() {
 		func() (interface{ Format() string }, error) { return experiments.Fig3() })
 	run(*fig4, "E5/Fig4", "IIP3 accuracy: full access vs nominal vs adaptive",
 		func() (interface{ Format() string }, error) {
-			return experiments.Fig4(experiments.Fig4Options{Devices: devices})
+			return experiments.Fig4(experiments.Fig4Options{Devices: devices, Workers: *workers})
 		})
 	run(*table2, "E6/Table2", "FCL and YL vs threshold (P1dB, IIP3, fc)",
 		func() (interface{ Format() string }, error) {
-			return experiments.Table2(experiments.Table2Options{Devices: devices})
+			return experiments.Table2(experiments.Table2Options{Devices: devices, Workers: *workers})
 		})
 	run(*table1, "E7/Table1", "synthesized system-level test plan",
 		func() (interface{ Format() string }, error) { return experiments.Table1() })
@@ -96,4 +118,8 @@ func main() {
 		func() (interface{ Format() string }, error) {
 			return experiments.TopOff(experiments.TopOffOptions{Patterns: tonesP})
 		})
+	if failed {
+		return 1
+	}
+	return 0
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBadFlagExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCapture(t, "-bogus")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "-fig1") {
+		t.Errorf("stderr carries no usage text:\n%s", stderr)
+	}
+}
+
+func TestPositionalArgsRejected(t *testing.T) {
+	if code, _, _ := runCapture(t, "fig1"); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestListAllWithoutRunning(t *testing.T) {
+	code, stdout, stderr := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	// All ten experiments, no results.
+	for _, id := range []string{"E1/", "E2/", "E3/", "E4/", "E5/", "E6/", "E7/", "E8/", "E9/", "E10/"} {
+		if !strings.Contains(stdout, id) {
+			t.Errorf("-list lacks %s:\n%s", id, stdout)
+		}
+	}
+	if strings.Contains(stdout, "====") {
+		t.Errorf("-list must not run experiments:\n%s", stdout)
+	}
+}
+
+func TestListRespectsSelection(t *testing.T) {
+	code, stdout, _ := runCapture(t, "-list", "-fig4", "-table2")
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(stdout, "E5/") || !strings.Contains(stdout, "E6/") {
+		t.Errorf("selection missing:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "E1/") || strings.Contains(stdout, "E8/") {
+		t.Errorf("unselected experiments listed:\n%s", stdout)
+	}
+}
+
+func TestRunSelectedExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment execution in -short mode")
+	}
+	code, stdout, stderr := runCapture(t, "-table2", "-quick", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "E6/Table2") || !strings.Contains(stdout, "MC FCL") {
+		t.Errorf("Table 2 output missing:\n%s", stdout)
+	}
+}

@@ -5,17 +5,24 @@
 //
 // Usage:
 //
-//	mstx [-seed N] [-fault name=delta] [-n 4096]
+//	mstx [-seed N] [-fault name=delta] [-n 4096] [-plan]
+//	     [-mc-refine] [-mc-losses] [-mc-samples N] [-mc-ci W] [-workers K]
 //
 // Faults: amp-gain, mixer-gain, mixer-iip3, lpf-fc, lpf-gain,
 // lo-freq (value is added to the parameter; lpf-fc is relative).
+//
+// The -mc-* flags drive the sharded Monte-Carlo engine: -mc-refine
+// replaces the analytic propagation error budgets with MC-estimated
+// sigmas before executing, -mc-losses prints an engine-backed FCL/YL
+// estimate (with 95% CI half-widths) for every translated test.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 
@@ -23,32 +30,56 @@ import (
 	"mstx/internal/experiments"
 	"mstx/internal/params"
 	"mstx/internal/path"
+	"mstx/internal/tolerance"
+	"mstx/internal/translate"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("mstx: ")
-	var (
-		seed     = flag.Int64("seed", 0, "0 = nominal device, otherwise a process-varied sample")
-		faultArg = flag.String("fault", "", "inject a parametric fault, e.g. mixer-iip3=-4")
-		n        = flag.Int("n", 4096, "capture length (power of two)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the testable entry point: it parses args, runs the program
+// against the given writers and returns the process exit code (0 ok,
+// 1 runtime failure, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mstx", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed      = fs.Int64("seed", 0, "0 = nominal device, otherwise a process-varied sample")
+		faultArg  = fs.String("fault", "", "inject a parametric fault, e.g. mixer-iip3=-4")
+		n         = fs.Int("n", 4096, "capture length (power of two)")
+		planOnly  = fs.Bool("plan", false, "print the synthesized plan and exit without executing")
+		mcRefine  = fs.Bool("mc-refine", false, "Monte-Carlo-refine the propagation error budgets before use")
+		mcLosses  = fs.Bool("mc-losses", false, "print engine-backed FCL/YL estimates per translated test")
+		mcSamples = fs.Int("mc-samples", 200000, "Monte-Carlo sample budget per estimate")
+		mcCI      = fs.Float64("mc-ci", 0.005, "95% CI half-width early-stop target for -mc-losses (0 = spend the full budget)")
+		workers   = fs.Int("workers", 0, "Monte-Carlo worker fan-out (0 = GOMAXPROCS; results identical for any value)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mstx: unexpected arguments: %q\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "mstx:", err)
+		return 1
+	}
 	spec, err := experiments.BuildDefaultSpec()
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	synth, err := core.New(spec)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	plan, err := synth.Synthesize(nil)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
-	fmt.Printf("synthesized %d tests (%d need DFT), %d boundary checks\n\n",
-		len(plan.Tests), len(plan.DFTRequired), len(plan.Boundary))
 
 	var device *path.Path
 	if *seed == 0 {
@@ -57,13 +88,36 @@ func main() {
 		device, err = spec.Sample(rand.New(rand.NewSource(*seed)))
 	}
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	if *faultArg != "" {
 		if err := injectFault(device, *faultArg); err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stderr, "mstx:", err)
+			fs.Usage()
+			return 2
 		}
-		fmt.Printf("injected parametric fault: %s\n\n", *faultArg)
+	}
+
+	mcCfg := translate.MCConfig{Samples: *mcSamples, Seed: *seed, Workers: *workers}
+	if *mcRefine {
+		if err := translate.RefineErrSigmaMC(device, plan, mcCfg); err != nil {
+			return fail(err)
+		}
+	}
+
+	fmt.Fprintf(stdout, "synthesized %d tests (%d need DFT), %d boundary checks\n\n",
+		len(plan.Tests), len(plan.DFTRequired), len(plan.Boundary))
+	if *planOnly {
+		printPlan(stdout, plan)
+		return 0
+	}
+	if *faultArg != "" {
+		fmt.Fprintf(stdout, "injected parametric fault: %s\n\n", *faultArg)
+	}
+	if *mcLosses {
+		if err := printMCLosses(stdout, plan, *mcSamples, *mcCI, *workers, *seed); err != nil {
+			return fail(err)
+		}
 	}
 
 	cfg := params.Config{N: *n, Settle: 512}
@@ -72,12 +126,12 @@ func main() {
 	// to be measured linearly.
 	outcomes, err := synth.Execute(device, cfg, rand.New(rand.NewSource(*seed+1)))
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	fails := 0
 	for _, o := range outcomes {
 		if o.Skipped {
-			fmt.Printf("SKIP  %-14s %-10s (%s)\n", o.Test.Request.Param, "", o.Test.Reason)
+			fmt.Fprintf(stdout, "SKIP  %-14s %-10s (%s)\n", o.Test.Request.Param, "", o.Test.Reason)
 			continue
 		}
 		verdict := "pass"
@@ -85,14 +139,14 @@ func main() {
 			verdict = "FAIL"
 			fails++
 		}
-		fmt.Printf("%-5s %-14s [%s] measured %.4g %s (true %.4g, err %+.3g)\n",
+		fmt.Fprintf(stdout, "%-5s %-14s [%s] measured %.4g %s (true %.4g, err %+.3g)\n",
 			verdict, o.Test.Request.Param, o.Test.Method,
 			o.Result.Measured, o.Result.Unit, o.Result.True, o.Result.Delta())
 	}
 	rng := rand.New(rand.NewSource(*seed + 99))
 	checks, err := synth.CheckBoundaries(device, cfg, rng)
 	if err != nil {
-		log.Fatal(err)
+		return fail(err)
 	}
 	for i, ok := range checks {
 		verdict := "pass"
@@ -100,14 +154,51 @@ func main() {
 			verdict = "FAIL"
 			fails++
 		}
-		fmt.Printf("%-5s boundary check %d (%v at %.3g V)\n",
+		fmt.Fprintf(stdout, "%-5s boundary check %d (%v at %.3g V)\n",
 			verdict, i, plan.Boundary[i].Kind, plan.Boundary[i].PIAmplitude)
 	}
 	if fails > 0 {
-		fmt.Printf("\ndevice REJECTED: %d failing tests\n", fails)
+		fmt.Fprintf(stdout, "\ndevice REJECTED: %d failing tests\n", fails)
 	} else {
-		fmt.Printf("\ndevice ACCEPTED\n")
+		fmt.Fprintf(stdout, "\ndevice ACCEPTED\n")
 	}
+	return 0
+}
+
+// printPlan renders the synthesized plan without executing it.
+func printPlan(w io.Writer, plan *translate.Plan) {
+	for _, t := range plan.Tests {
+		fmt.Fprintf(w, "%2d  %-14s %-12s %-14s σ=%-8.3g captures=%d  %s\n",
+			t.Order, t.Request.Param, t.Kind, t.Method, t.ErrSigma, t.Captures, t.Reason)
+	}
+}
+
+// printMCLosses runs the engine-backed loss estimate for every
+// translated test with an error budget.
+func printMCLosses(w io.Writer, plan *translate.Plan, samples int, ci float64, workers int, seed int64) error {
+	fmt.Fprintf(w, "Monte-Carlo loss estimates (budget %d, CI target %g):\n", samples, ci)
+	for i, t := range plan.Tests {
+		if t.Kind == translate.Direct || t.ErrSigma <= 0 {
+			continue
+		}
+		est, err := tolerance.MonteCarloLosses(
+			t.Request.Dist, tolerance.Normal{Sigma: t.ErrSigma},
+			t.Request.Limit, t.Request.Limit,
+			samples, seed+1000+int64(i),
+			tolerance.MCOptions{Workers: workers, CheckEvery: 2, TargetHalfWidth: ci})
+		if err != nil {
+			return fmt.Errorf("%s: %w", t.Request.Param, err)
+		}
+		fmt.Fprintf(w, "  %-14s FCL %6.2f%% ±%.2f  YL %6.2f%% ±%.2f  (n=%d",
+			t.Request.Param, 100*est.FCL, 100*est.FCLHalfWidth,
+			100*est.YL, 100*est.YLHalfWidth, est.Samples)
+		if est.Converged {
+			fmt.Fprintf(w, ", converged")
+		}
+		fmt.Fprintf(w, ")\n")
+	}
+	fmt.Fprintln(w)
+	return nil
 }
 
 // injectFault applies "name=delta" to the device's actual parameters.

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runCapture(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBadFlagExitsWithUsage(t *testing.T) {
+	code, _, stderr := runCapture(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "-seed") {
+		t.Errorf("stderr carries no usage text:\n%s", stderr)
+	}
+}
+
+func TestPositionalArgsRejected(t *testing.T) {
+	code, _, stderr := runCapture(t, "stray")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unexpected arguments") {
+		t.Errorf("stderr = %q", stderr)
+	}
+}
+
+func TestBadFaultSyntaxIsUsageError(t *testing.T) {
+	for _, arg := range []string{"mixer-iip3", "mixer-iip3=xyz", "no-such-block=1"} {
+		code, _, stderr := runCapture(t, "-plan", "-fault", arg)
+		if code != 2 {
+			t.Errorf("-fault %q: exit code = %d, want 2 (stderr %q)", arg, code, stderr)
+		}
+	}
+}
+
+func TestPlanOnlyPrintsPlanWithoutExecuting(t *testing.T) {
+	code, stdout, stderr := runCapture(t, "-plan")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "synthesized") {
+		t.Errorf("no synthesis summary:\n%s", stdout)
+	}
+	for _, want := range []string{"path-gain", "mixer-iip3", "lpf-cutoff"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("plan listing lacks %q:\n%s", want, stdout)
+		}
+	}
+	if strings.Contains(stdout, "ACCEPTED") || strings.Contains(stdout, "REJECTED") {
+		t.Errorf("-plan must not execute the program:\n%s", stdout)
+	}
+}
+
+func TestPlanMCRefineAnnotates(t *testing.T) {
+	code, stdout, stderr := runCapture(t, "-plan", "-mc-refine", "-mc-samples", "20000")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "MC-refined") {
+		t.Errorf("refined plan not annotated:\n%s", stdout)
+	}
+}
+
+func TestNominalDeviceAccepted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full execution in -short mode")
+	}
+	code, stdout, stderr := runCapture(t, "-n", "1024", "-mc-losses", "-mc-samples", "40000", "-mc-ci", "0.01")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "device ACCEPTED") {
+		t.Errorf("nominal device not accepted:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "Monte-Carlo loss estimates") || !strings.Contains(stdout, "FCL") {
+		t.Errorf("-mc-losses output missing:\n%s", stdout)
+	}
+}
+
+func TestFaultyDeviceRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full execution in -short mode")
+	}
+	code, stdout, stderr := runCapture(t, "-n", "1024", "-fault", "mixer-iip3=-6")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "device REJECTED") {
+		t.Errorf("grossly faulty device accepted:\n%s", stdout)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mstx/internal/mcengine"
 	"mstx/internal/params"
 )
 
@@ -32,6 +33,10 @@ type Fig4Options struct {
 	Seed int64
 	// N is the capture length. Default 2048.
 	N int
+	// Workers bounds the measurement fan-out (0 = engine default).
+	// The result is bit-identical for any value: each device is one
+	// engine lane with its own RNG substream.
+	Workers int
 }
 
 // Fig4 reproduces Figure 4: the mixer IIP3 is measured on a
@@ -52,25 +57,45 @@ func Fig4(opts Fig4Options) (*Fig4Result, error) {
 	}
 	cfg := params.Config{N: opts.N, Settle: 256}
 	st := params.DefaultIIP3Stimulus()
-	rng := rand.New(rand.NewSource(opts.Seed + 400))
 	methods := []params.Method{params.FullAccess, params.NominalGains, params.Adaptive}
-	errs := make(map[params.Method][]float64)
-	for i := 0; i < opts.Devices; i++ {
-		device, err := spec.Sample(rng)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range methods {
-			res, err := params.MeasureMixerIIP3(device, m, st, cfg, nil)
+	// Device population on the sharded engine: one lane per device
+	// (BatchSize 1), so each device draw comes from its own substream
+	// and the study fans out across workers without losing
+	// reproducibility. Measurements run noiseless (nil rng), so each
+	// lane's [methods]error vector depends only on its device.
+	kernel := func(_, count int, rng *rand.Rand) ([][3]float64, error) {
+		out := make([][3]float64, 0, count)
+		for i := 0; i < count; i++ {
+			device, err := spec.Sample(rng)
 			if err != nil {
 				return nil, err
 			}
-			errs[m] = append(errs[m], res.Delta())
+			var e [3]float64
+			for j, m := range methods {
+				res, err := params.MeasureMixerIIP3(device, m, st, cfg, nil)
+				if err != nil {
+					return nil, err
+				}
+				e[j] = res.Delta()
+			}
+			out = append(out, e)
 		}
+		return out, nil
+	}
+	merge := func(total [][3]float64, _ int, part [][3]float64) [][3]float64 {
+		return append(total, part...)
+	}
+	all, _, err := mcengine.Run(opts.Devices, opts.Seed+400,
+		mcengine.Options{Workers: opts.Workers, BatchSize: 1}, nil, kernel, merge, nil)
+	if err != nil {
+		return nil, err
 	}
 	out := &Fig4Result{}
-	for _, m := range methods {
-		es := errs[m]
+	for j, m := range methods {
+		es := make([]float64, len(all))
+		for i, e := range all {
+			es[i] = e[j]
+		}
 		var sum, sum2, worst float64
 		for _, e := range es {
 			sum += e

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"mstx/internal/mcengine"
 	"mstx/internal/params"
 	"mstx/internal/path"
 	"mstx/internal/tolerance"
@@ -23,6 +24,10 @@ type Table2Row struct {
 	Unit string
 	// Sweep holds the Tol / Tol−Err / Tol+Err loss rows.
 	Sweep []tolerance.ThresholdRow
+	// MC is the engine-backed Monte-Carlo cross-check of the nominal
+	// (Tol) threshold losses: same error model, independent of the
+	// closed form, with confidence-interval early stopping.
+	MC tolerance.LossEstimate
 }
 
 // Table2Result reproduces Table 2 for P1dB, IIP3 and fc.
@@ -41,6 +46,17 @@ type Table2Options struct {
 	Seed int64
 	// N is the capture length. Default 2048.
 	N int
+	// Workers bounds the engine fan-out for device measurement and
+	// the loss cross-check (0 = engine default). Results are
+	// bit-identical for any value.
+	Workers int
+	// MCSamples is the per-row loss cross-check budget. Default
+	// 200000; early stopping usually resolves it in far fewer draws.
+	MCSamples int
+	// MCTargetHalfWidth is the 95% CI half-width at which the loss
+	// cross-check stops early. Default 0.005 (half a percentage
+	// point).
+	MCTargetHalfWidth float64
 }
 
 // Table2 runs the full Table 2 reproduction: for each of the three
@@ -55,6 +71,12 @@ func Table2(opts Table2Options) (*Table2Result, error) {
 	}
 	if opts.N == 0 {
 		opts.N = 2048
+	}
+	if opts.MCSamples == 0 {
+		opts.MCSamples = 200000
+	}
+	if opts.MCTargetHalfWidth == 0 {
+		opts.MCTargetHalfWidth = 0.005
 	}
 	spec, err := BuildDefaultSpec()
 	if err != nil {
@@ -99,31 +121,62 @@ func Table2(opts Table2Options) (*Table2Result, error) {
 	}
 
 	res := &Table2Result{Devices: opts.Devices}
-	rng := rand.New(rand.NewSource(opts.Seed + 600))
-	devices := make([]*path.Path, 0, opts.Devices)
-	for i := 0; i < opts.Devices; i++ {
-		d, err := spec.Sample(rng)
-		if err != nil {
-			return nil, err
-		}
-		devices = append(devices, d)
-	}
-	for _, s := range studies {
-		var deltas []float64
-		for _, d := range devices {
-			r, err := s.measure(d)
+	// One engine lane per device: the device draw and every study's
+	// measurement of it happen in the lane, so the fan-out across
+	// workers never reorders a device's RNG consumption.
+	kernel := func(_, count int, rng *rand.Rand) ([][3]float64, error) {
+		out := make([][3]float64, 0, count)
+		for i := 0; i < count; i++ {
+			d, err := spec.Sample(rng)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s on device: %w", s.name, err)
+				return nil, err
 			}
-			deltas = append(deltas, r.Delta())
+			var v [3]float64
+			for j, s := range studies {
+				r, err := s.measure(d)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s on device: %w", s.name, err)
+				}
+				v[j] = r.Delta()
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	}
+	merge := func(total [][3]float64, _ int, part [][3]float64) [][3]float64 {
+		return append(total, part...)
+	}
+	all, _, err := mcengine.Run(opts.Devices, opts.Seed+600,
+		mcengine.Options{Workers: opts.Workers, BatchSize: 1}, nil, kernel, merge, nil)
+	if err != nil {
+		return nil, err
+	}
+	for j, s := range studies {
+		deltas := make([]float64, len(all))
+		for i, v := range all {
+			deltas[i] = v[j]
 		}
 		sigma := sigmaAboutMean(deltas)
 		if sigma <= 0 {
 			sigma = 1e-9
 		}
 		sweep := tolerance.ThresholdSweep(s.dist, sigma, tolerance.WorstCaseErr(sigma), s.spec)
+		// Cross-check the nominal-threshold losses with the sharded
+		// Monte Carlo: same P/error model as the closed form, stopping
+		// as soon as the 95% CI is inside the target half-width.
+		mc, err := tolerance.MonteCarloLosses(s.dist, tolerance.Normal{Sigma: sigma},
+			s.spec, s.spec, opts.MCSamples, opts.Seed+601+int64(j),
+			tolerance.MCOptions{
+				Workers:         opts.Workers,
+				CheckEvery:      2,
+				TargetHalfWidth: opts.MCTargetHalfWidth,
+			})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s loss cross-check: %w", s.name, err)
+		}
 		res.Rows = append(res.Rows, Table2Row{
-			Parameter: s.name, Method: s.method, ErrSigma: sigma, Unit: s.unit, Sweep: sweep,
+			Parameter: s.name, Method: s.method, ErrSigma: sigma, Unit: s.unit,
+			Sweep: sweep, MC: mc,
 		})
 	}
 	return res, nil
@@ -154,6 +207,7 @@ func (r *Table2Result) Format() string {
 		"Tol FCL", "Tol YL",
 		"Tol-Err FCL", "Tol-Err YL",
 		"Tol+Err FCL", "Tol+Err YL",
+		"MC FCL", "MC YL", "MC n",
 	}}
 	for _, row := range r.Rows {
 		cells := []string{row.Parameter, row.Method.String(),
@@ -161,6 +215,8 @@ func (r *Table2Result) Format() string {
 		for _, sw := range row.Sweep {
 			cells = append(cells, fpct(sw.Losses.FCL), fpct(sw.Losses.YL))
 		}
+		cells = append(cells, fpct(row.MC.FCL), fpct(row.MC.YL),
+			fmt.Sprintf("%d", row.MC.Samples))
 		rows = append(rows, cells)
 	}
 	return table(rows)

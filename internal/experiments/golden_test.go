@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// TestTable2Golden pins the formatted E6 Table 2 output byte-for-byte.
+// Every input is deterministic — device draws come from per-lane
+// engine substreams, measurements run noiseless, and the loss
+// cross-check stops at a seed-determined round — so any diff is a real
+// behavior change. Regenerate intentionally with:
+//
+//	go test ./internal/experiments -run Table2Golden -update
+func TestTable2Golden(t *testing.T) {
+	res, err := Table2(Table2Options{Devices: 6, N: 1024, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Format()
+	golden := filepath.Join("testdata", "e6_table2.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("Table 2 output drifted from golden.\n--- got ---\n%s--- want ---\n%s(run with -update if the change is intentional)", got, want)
+	}
+}
+
+// TestTable2GoldenWorkerInvariant re-runs the golden configuration at
+// a high worker count: the formatted output must not move by a byte.
+func TestTable2GoldenWorkerInvariant(t *testing.T) {
+	base, err := Table2(Table2Options{Devices: 6, N: 1024, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Table2(Table2Options{Devices: 6, N: 1024, Seed: 0, Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Format() != wide.Format() {
+		t.Errorf("worker count changed output:\n%s\nvs\n%s", base.Format(), wide.Format())
+	}
+}

@@ -1,0 +1,176 @@
+// Package mcengine is the sharded Monte-Carlo estimation engine: it
+// fans fixed-size sample batches ("lanes") across a bounded worker
+// pool, gives every lane its own deterministic RNG substream derived
+// from (seed, lane index), and merges the per-lane partial results at
+// round barriers in ascending lane order.
+//
+// Because the sample stream of lane l depends only on SubstreamSeed
+// (seed, l) — never on which worker ran it or when — and because
+// partials are folded strictly in lane order, the merged result is
+// bit-identical for ANY worker count, including a plain serial loop
+// over the same lanes. That is the engine's contract: parallelism is
+// purely a scheduling concern and can never change a published number.
+//
+// Early stopping is confidence-interval-driven and equally
+// deterministic: lanes are grouped into rounds of CheckEvery lanes,
+// and the caller's stop predicate is consulted only at round barriers,
+// on the merged prefix of lanes. The stopping decision therefore
+// depends only on (seed, BatchSize, CheckEvery) — not on workers or
+// timing — so an early-stopped run is reproducible too.
+package mcengine
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBatchSize is the per-lane sample count when Options.BatchSize
+// is zero: large enough that RNG setup and scheduling are noise,
+// small enough that early stopping has useful granularity.
+const DefaultBatchSize = 8192
+
+// Options configures a Run.
+type Options struct {
+	// Workers bounds the worker pool. Defaults to GOMAXPROCS.
+	Workers int
+	// BatchSize is the number of samples per lane (the substream
+	// granularity). It is part of the reproducibility contract: the
+	// same seed with a different BatchSize is a different experiment.
+	// Defaults to DefaultBatchSize.
+	BatchSize int
+	// CheckEvery groups lanes into early-stop rounds: the stop
+	// predicate runs after every CheckEvery lanes have been merged.
+	// Zero (or a nil stop predicate) disables early stopping and runs
+	// all lanes in a single round.
+	CheckEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	return o
+}
+
+// SubstreamSeed derives the RNG seed of one lane from the run seed by
+// a splitmix64 mix (Steele et al.), so neighbouring lanes get
+// decorrelated streams and lane 0 never equals the raw run seed.
+func SubstreamSeed(seed int64, lane int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(lane+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Lanes returns the number of lanes an n-sample run occupies at the
+// given batch size.
+func Lanes(n, batchSize int) int {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return (n + batchSize - 1) / batchSize
+}
+
+// Kernel computes one lane's partial result: count samples drawn from
+// the lane's private substream rng. It must not touch shared mutable
+// state; everything it needs beyond the rng should be captured
+// read-only in the closure.
+type Kernel[P any] func(lane, count int, rng *rand.Rand) (P, error)
+
+// Merge folds one lane's partial into the running total. The engine
+// guarantees calls in strictly ascending lane order, so even
+// non-commutative (e.g. floating-point) merges are deterministic.
+type Merge[T, P any] func(total T, lane int, part P) T
+
+// Stop is consulted at round barriers with the merged prefix total and
+// the number of samples it covers; returning true ends the run early.
+type Stop[T any] func(total T, samples int) bool
+
+// Run executes an n-sample Monte-Carlo estimation and returns the
+// merged total together with the number of samples actually processed
+// (less than n only when the stop predicate fired). The zero total is
+// the caller's initial accumulator value.
+func Run[T, P any](n int, seed int64, opts Options, total T, kernel Kernel[P], merge Merge[T, P], stop Stop[T]) (T, int, error) {
+	if n <= 0 {
+		return total, 0, fmt.Errorf("mcengine: sample count %d must be positive", n)
+	}
+	if kernel == nil || merge == nil {
+		return total, 0, fmt.Errorf("mcengine: nil kernel or merge")
+	}
+	o := opts.withDefaults()
+	lanes := Lanes(n, o.BatchSize)
+	round := o.CheckEvery
+	if round <= 0 || stop == nil {
+		round = lanes
+	}
+	laneCount := func(l int) int {
+		if l == lanes-1 {
+			return n - l*o.BatchSize
+		}
+		return o.BatchSize
+	}
+
+	done := 0
+	for lo := 0; lo < lanes; lo += round {
+		hi := lo + round
+		if hi > lanes {
+			hi = lanes
+		}
+		parts := make([]P, hi-lo)
+		errs := make([]error, hi-lo)
+		workers := o.Workers
+		if workers > hi-lo {
+			workers = hi - lo
+		}
+		var (
+			next   = int64(lo) - 1
+			failed int32
+			wg     sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					l := int(atomic.AddInt64(&next, 1))
+					if l >= hi {
+						return
+					}
+					if atomic.LoadInt32(&failed) != 0 {
+						continue
+					}
+					rng := rand.New(rand.NewSource(SubstreamSeed(seed, l)))
+					p, err := kernel(l, laneCount(l), rng)
+					if err != nil {
+						errs[l-lo] = err
+						atomic.StoreInt32(&failed, 1)
+						continue
+					}
+					parts[l-lo] = p
+				}
+			}()
+		}
+		wg.Wait()
+		for i, e := range errs {
+			if e != nil {
+				var zero T
+				return zero, done, fmt.Errorf("mcengine: lane %d: %w", lo+i, e)
+			}
+		}
+		for i := range parts {
+			l := lo + i
+			total = merge(total, l, parts[i])
+			done += laneCount(l)
+		}
+		if hi < lanes && stop != nil && stop(total, done) {
+			return total, done, nil
+		}
+	}
+	return total, done, nil
+}

@@ -1,0 +1,207 @@
+package mcengine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// serialReference runs the same lane decomposition as Run with a plain
+// loop — the reproducibility oracle for the engine's scheduling.
+func serialReference[T, P any](n int, seed int64, opts Options, total T, kernel Kernel[P], merge Merge[T, P], stop Stop[T]) (T, int) {
+	o := opts.withDefaults()
+	lanes := Lanes(n, o.BatchSize)
+	round := o.CheckEvery
+	if round <= 0 || stop == nil {
+		round = lanes
+	}
+	done := 0
+	for lo := 0; lo < lanes; lo += round {
+		hi := lo + round
+		if hi > lanes {
+			hi = lanes
+		}
+		for l := lo; l < hi; l++ {
+			cnt := o.BatchSize
+			if l == lanes-1 {
+				cnt = n - l*o.BatchSize
+			}
+			rng := rand.New(rand.NewSource(SubstreamSeed(seed, l)))
+			p, err := kernel(l, cnt, rng)
+			if err != nil {
+				panic(err)
+			}
+			total = merge(total, l, p)
+			done += cnt
+		}
+		if hi < lanes && stop != nil && stop(total, done) {
+			return total, done
+		}
+	}
+	return total, done
+}
+
+// sumKernel accumulates a MeanVar over N(3, 2) draws — a kernel whose
+// merged result is floating-point and therefore order-sensitive, so it
+// detects any deviation from lane-order merging.
+func sumKernel(_, count int, rng *rand.Rand) (MeanVar, error) {
+	var mv MeanVar
+	for i := 0; i < count; i++ {
+		mv.Observe(3 + 2*rng.NormFloat64())
+	}
+	return mv, nil
+}
+
+func mergeMV(total MeanVar, _ int, part MeanVar) MeanVar {
+	total.Merge(part)
+	return total
+}
+
+func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	const n = 50000
+	opts := Options{BatchSize: 1024}
+	want, wantDone := serialReference(n, 7, opts, MeanVar{}, sumKernel, mergeMV, nil)
+	for _, workers := range []int{1, 2, 4, 16} {
+		o := opts
+		o.Workers = workers
+		got, done, err := Run(n, 7, o, MeanVar{}, sumKernel, mergeMV, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != wantDone {
+			t.Fatalf("workers=%d: %d samples, want %d", workers, done, wantDone)
+		}
+		if got != want { // exact float equality is the contract
+			t.Errorf("workers=%d: %+v != serial %+v", workers, got, want)
+		}
+	}
+	if math.Abs(want.Mean-3) > 0.05 || math.Abs(want.Std()-2) > 0.05 {
+		t.Errorf("statistics off: mean %g std %g", want.Mean, want.Std())
+	}
+}
+
+func TestRunEarlyStopDeterministic(t *testing.T) {
+	const n = 100000
+	stop := func(mv MeanVar, samples int) bool {
+		return mv.StdErr() < 0.02 // hit after a few rounds, before n
+	}
+	opts := Options{BatchSize: 2048, CheckEvery: 3}
+	want, wantDone := serialReference(n, 11, opts, MeanVar{}, sumKernel, mergeMV, stop)
+	if wantDone >= n {
+		t.Fatalf("reference did not stop early (done=%d); test mis-tuned", wantDone)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		o := opts
+		o.Workers = workers
+		got, done, err := Run(n, 11, o, MeanVar{}, sumKernel, mergeMV, stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if done != wantDone || got != want {
+			t.Errorf("workers=%d: (done=%d, %+v) != serial (done=%d, %+v)",
+				workers, done, got, wantDone, want)
+		}
+	}
+}
+
+func TestRunPartialLastLane(t *testing.T) {
+	// n not a multiple of BatchSize: the last lane must carry the
+	// remainder and the totals must still match the serial reference.
+	const n = 10*512 + 137
+	counts := map[int]int{}
+	kernel := func(lane, count int, rng *rand.Rand) (int, error) { return count, nil }
+	merge := func(total, lane, part int) int {
+		counts[lane] = part
+		return total + part
+	}
+	total, done, err := Run(n, 3, Options{BatchSize: 512, Workers: 1}, 0, kernel, merge, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n || done != n {
+		t.Fatalf("total=%d done=%d want %d", total, done, n)
+	}
+	if counts[10] != 137 {
+		t.Errorf("last lane count = %d, want 137", counts[10])
+	}
+}
+
+func TestRunKernelErrorSurfaces(t *testing.T) {
+	sentinel := errors.New("boom")
+	kernel := func(lane, count int, rng *rand.Rand) (int, error) {
+		if lane == 5 {
+			return 0, sentinel
+		}
+		return count, nil
+	}
+	merge := func(total, lane, part int) int { return total + part }
+	_, _, err := Run(100000, 1, Options{BatchSize: 1024, Workers: 4}, 0, kernel, merge, nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	merge := func(total, lane, part int) int { return total }
+	if _, _, err := Run(0, 1, Options{}, 0, func(_, _ int, _ *rand.Rand) (int, error) { return 0, nil }, merge, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, _, err := Run[int, int](10, 1, Options{}, 0, nil, merge, nil); err == nil {
+		t.Error("nil kernel accepted")
+	}
+}
+
+func TestSubstreamSeedsDecorrelated(t *testing.T) {
+	seen := map[int64]int{}
+	for lane := 0; lane < 1000; lane++ {
+		s := SubstreamSeed(42, lane)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("lanes %d and %d share a substream seed", prev, lane)
+		}
+		seen[s] = lane
+	}
+	if SubstreamSeed(42, 0) == 42 {
+		t.Error("lane 0 must not reuse the raw run seed")
+	}
+	if SubstreamSeed(42, 0) == SubstreamSeed(43, 0) {
+		t.Error("different run seeds collide on lane 0")
+	}
+}
+
+// TestRunMergeRace drives the engine at high worker counts so `go test
+// -race` exercises the parts/merge hand-off; correctness is re-checked
+// against the serial reference.
+func TestRunMergeRace(t *testing.T) {
+	const n = 200000
+	opts := Options{BatchSize: 512, Workers: 16, CheckEvery: 8}
+	stop := func(mv MeanVar, samples int) bool { return false }
+	want, _ := serialReference(n, 5, opts, MeanVar{}, sumKernel, mergeMV, stop)
+	for rep := 0; rep < 3; rep++ {
+		got, _, err := Run(n, 5, opts, MeanVar{}, sumKernel, mergeMV, stop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("rep %d: %+v != %+v", rep, got, want)
+		}
+	}
+}
+
+func ExampleRun() {
+	// Estimate E[X²] of a standard normal with 4 workers; the result
+	// is bit-identical at any worker count.
+	kernel := func(_, count int, rng *rand.Rand) (MeanVar, error) {
+		var mv MeanVar
+		for i := 0; i < count; i++ {
+			x := rng.NormFloat64()
+			mv.Observe(x * x)
+		}
+		return mv, nil
+	}
+	mv, _, _ := Run(400000, 1, Options{Workers: 4}, MeanVar{},
+		kernel, func(t MeanVar, _ int, p MeanVar) MeanVar { t.Merge(p); return t }, nil)
+	fmt.Printf("E[X^2] ~ %.2f\n", mv.Mean)
+	// Output: E[X^2] ~ 1.00
+}

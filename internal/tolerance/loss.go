@@ -2,7 +2,6 @@ package tolerance
 
 import (
 	"fmt"
-	"math/rand"
 )
 
 // BoundKind says which side(s) of the spec limit a parameter must stay
@@ -94,51 +93,19 @@ type LossEstimate struct {
 	GoodFraction float64
 	// Samples is the Monte-Carlo sample count (0 for analytic results).
 	Samples int
+	// FCLHalfWidth and YLHalfWidth are the confidence half-widths of
+	// the FCL and YL proportions for Monte-Carlo estimates (+Inf when
+	// the backing population is empty, 0 for analytic results).
+	FCLHalfWidth, YLHalfWidth float64
+	// Converged reports that a confidence-targeted Monte-Carlo run
+	// reached its half-width target (possibly before exhausting its
+	// sample budget).
+	Converged bool
 }
 
 // String formats the estimate as percentages.
 func (l LossEstimate) String() string {
 	return fmt.Sprintf("FCL=%.2f%% YL=%.2f%%", l.FCL*100, l.YL*100)
-}
-
-// MonteCarloLosses estimates FCL and YL by sampling: the true
-// parameter is drawn from pDist, the measured value adds a draw from
-// errDist, the part truly passes per spec, and the tester accepts per
-// testLimit (usually spec.Shifted(±err)).
-func MonteCarloLosses(pDist, errDist Normal, spec, testLimit SpecLimit, n int, rng *rand.Rand) (LossEstimate, error) {
-	if n <= 0 {
-		return LossEstimate{}, fmt.Errorf("tolerance: sample count %d must be positive", n)
-	}
-	if rng == nil {
-		return LossEstimate{}, fmt.Errorf("tolerance: nil RNG")
-	}
-	var nGood, nBad, overkill, escapes int
-	for i := 0; i < n; i++ {
-		p := pDist.Sample(rng)
-		m := p + errDist.Sample(rng)
-		good := spec.Acceptable(p)
-		accept := testLimit.Acceptable(m)
-		switch {
-		case good && !accept:
-			nGood++
-			overkill++
-		case good:
-			nGood++
-		case !good && accept:
-			nBad++
-			escapes++
-		default:
-			nBad++
-		}
-	}
-	est := LossEstimate{Samples: n, GoodFraction: float64(nGood) / float64(n)}
-	if nGood > 0 {
-		est.YL = float64(overkill) / float64(nGood)
-	}
-	if nBad > 0 {
-		est.FCL = float64(escapes) / float64(nBad)
-	}
-	return est, nil
 }
 
 // AnalyticLosses computes the same quantities by numeric integration

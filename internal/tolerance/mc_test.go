@@ -1,0 +1,142 @@
+package tolerance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParallelBitIdenticalToSerial is the engine's headline property:
+// for random distributions and spec limits, the parallel engine output
+// is byte-identical to the serial reference given the same seed, at 1,
+// 4 and 16 workers.
+func TestParallelBitIdenticalToSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Normal{Mean: 5 + rng.Float64()*10, Sigma: 0.3 + rng.Float64()*2}
+		errD := Normal{Mean: rng.NormFloat64() * 0.05, Sigma: 0.05 + rng.Float64()*0.5}
+		var spec SpecLimit
+		switch rng.Intn(3) {
+		case 0:
+			spec = LowerLimit(p.Mean - (0.5+rng.Float64())*p.Sigma)
+		case 1:
+			spec = UpperLimit(p.Mean + (0.5+rng.Float64())*p.Sigma)
+		default:
+			spec = BandLimit(p.Mean-1.5*p.Sigma, p.Mean+1.5*p.Sigma)
+		}
+		testLimit := spec.Shifted(rng.NormFloat64() * errD.Sigma)
+		n := 20000 + rng.Intn(30000) // exercises a partial last lane
+		opts := MCOptions{BatchSize: 2048}
+		want, err := SerialMonteCarloLosses(p, errD, spec, testLimit, n, seed, opts)
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{1, 4, 16} {
+			o := opts
+			o.Workers = workers
+			got, err := MonteCarloLosses(p, errD, spec, testLimit, n, seed, o)
+			if err != nil || got != want {
+				t.Logf("workers=%d seed=%d: %+v != %+v (err=%v)", workers, seed, got, want, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEarlyStopBitIdenticalToSerial pins the same property when
+// confidence-interval early stopping is active: the stopping round —
+// and therefore the sample count and every estimate bit — must not
+// depend on the worker count.
+func TestEarlyStopBitIdenticalToSerial(t *testing.T) {
+	p := Normal{Mean: 10, Sigma: 1}
+	errD := Normal{Sigma: 0.3}
+	spec := LowerLimit(8.5)
+	opts := MCOptions{BatchSize: 1024, CheckEvery: 2, TargetHalfWidth: 0.02}
+	want, err := SerialMonteCarloLosses(p, errD, spec, spec, 400000, 9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Samples >= 400000 {
+		t.Fatalf("early stop never fired (samples=%d); test mis-tuned", want.Samples)
+	}
+	if !want.Converged {
+		t.Fatalf("stopped run not marked converged: %+v", want)
+	}
+	for _, workers := range []int{1, 4, 16} {
+		o := opts
+		o.Workers = workers
+		got, err := MonteCarloLosses(p, errD, spec, spec, 400000, 9, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: %+v != serial %+v", workers, got, want)
+		}
+	}
+}
+
+func TestEarlyStopRespectsTarget(t *testing.T) {
+	p := Normal{Mean: 10, Sigma: 1}
+	errD := Normal{Sigma: 0.3}
+	spec := LowerLimit(8.5)
+	est, err := MonteCarloLosses(p, errD, spec, spec, 800000, 3,
+		MCOptions{BatchSize: 4096, CheckEvery: 2, TargetHalfWidth: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.FCLHalfWidth > 0.03 || est.YLHalfWidth > 0.03 {
+		t.Errorf("half-widths above target: %+v", est)
+	}
+	if est.Samples >= 800000 {
+		t.Errorf("no early stop at a loose target (samples=%d)", est.Samples)
+	}
+	// Against the analytic oracle: the CI must actually cover.
+	an := AnalyticLosses(p, errD, spec, spec)
+	if math.Abs(est.FCL-an.FCL) > 3*est.FCLHalfWidth {
+		t.Errorf("FCL %g outside 3 half-widths of analytic %g", est.FCL, an.FCL)
+	}
+	if math.Abs(est.YL-an.YL) > 3*est.YLHalfWidth {
+		t.Errorf("YL %g outside 3 half-widths of analytic %g", est.YL, an.YL)
+	}
+}
+
+func TestMonteCarloSampleAccounting(t *testing.T) {
+	p := Normal{Mean: 10, Sigma: 1}
+	spec := LowerLimit(8.5)
+	// No early stop: every requested sample must be spent, n not a
+	// lane multiple.
+	est, err := MonteCarloLosses(p, Normal{Sigma: 0.3}, spec, spec, 10007, 5, MCOptions{BatchSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Samples != 10007 {
+		t.Errorf("samples = %d, want 10007", est.Samples)
+	}
+	if est.Converged {
+		t.Error("untargeted run must not claim convergence")
+	}
+}
+
+// TestHalfWidthUnconstrainedPopulations: when a population is empty
+// the proportion is unconstrained and must report an infinite width,
+// never a confident zero.
+func TestHalfWidthUnconstrainedPopulations(t *testing.T) {
+	// Spec far below the distribution: no bad parts in any plausible
+	// draw, so FCL is unconstrained.
+	p := Normal{Mean: 10, Sigma: 0.1}
+	est, err := MonteCarloLosses(p, Normal{Sigma: 0.01}, LowerLimit(0), LowerLimit(0), 5000, 1, MCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(est.FCLHalfWidth, 1) {
+		t.Errorf("FCL half-width = %g with no bad population, want +Inf", est.FCLHalfWidth)
+	}
+	if est.YLHalfWidth <= 0 {
+		t.Errorf("YL half-width = %g, want positive floor", est.YLHalfWidth)
+	}
+}

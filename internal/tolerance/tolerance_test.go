@@ -133,11 +133,11 @@ func TestBoundKindString(t *testing.T) {
 }
 
 func TestMonteCarloValidation(t *testing.T) {
-	if _, err := MonteCarloLosses(Normal{}, Normal{}, LowerLimit(0), LowerLimit(0), 0, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := MonteCarloLosses(Normal{}, Normal{}, LowerLimit(0), LowerLimit(0), 0, 1, MCOptions{}); err == nil {
 		t.Error("n=0 accepted")
 	}
-	if _, err := MonteCarloLosses(Normal{}, Normal{}, LowerLimit(0), LowerLimit(0), 10, nil); err == nil {
-		t.Error("nil rng accepted")
+	if _, err := SerialMonteCarloLosses(Normal{}, Normal{}, LowerLimit(0), LowerLimit(0), 0, 1, MCOptions{}); err == nil {
+		t.Error("serial n=0 accepted")
 	}
 }
 
@@ -179,8 +179,7 @@ func TestMonteCarloMatchesAnalytic(t *testing.T) {
 	p := Normal{Mean: 10, Sigma: 1}
 	errD := Normal{Sigma: 0.3}
 	spec := LowerLimit(8.5)
-	rng := rand.New(rand.NewSource(41))
-	mc, err := MonteCarloLosses(p, errD, spec, spec, 400000, rng)
+	mc, err := MonteCarloLosses(p, errD, spec, spec, 400000, 41, MCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +201,7 @@ func TestMonteCarloMatchesAnalyticProperty(t *testing.T) {
 		p := Normal{Mean: 10 + rng.Float64()*5, Sigma: 0.5 + rng.Float64()}
 		errD := Normal{Sigma: 0.1 + rng.Float64()*0.5}
 		spec := LowerLimit(p.Mean - 1.5*p.Sigma)
-		mc, err := MonteCarloLosses(p, errD, spec, spec, 60000, rng)
+		mc, err := MonteCarloLosses(p, errD, spec, spec, 60000, rng.Int63(), MCOptions{})
 		if err != nil {
 			return false
 		}

@@ -224,9 +224,8 @@ func planOne(p *path.Path, r Request) (PlannedTest, error) {
 		t.Method = params.Adaptive
 		// Composite gain is measured directly: the residual error is
 		// the capture repeatability (quantization + noise), far below
-		// the block tolerances. 0.05 dB is the measured repeatability
-		// of the 4096-point capture.
-		t.ErrSigma = 0.05
+		// the block tolerances.
+		t.ErrSigma = captureRepeatabilityDB
 		t.Captures = 1
 		t.Reason = "composite parameter; measured directly at PO"
 
@@ -255,7 +254,7 @@ func planOne(p *path.Path, r Request) (PlannedTest, error) {
 	case params.MixerIIP3:
 		t.Kind = Propagation
 		nominal := tolerance.RSS(sm, sb)
-		adaptive := tolerance.RSS(sa, 0.05)
+		adaptive := tolerance.RSS(sa, captureRepeatabilityDB)
 		t.Method, t.ErrSigma, t.Reason = pickMethod(nominal, adaptive,
 			"nominal gains: RSS(σ_M, σ_B)", "adaptive: path gain measured, only σ_A remains")
 		t.Captures = 2 // two-tone capture + the shared path-gain capture
@@ -267,7 +266,7 @@ func planOne(p *path.Path, r Request) (PlannedTest, error) {
 	case params.MixerP1dB:
 		t.Kind = Propagation
 		nominal := sa // refer PI level through nominal amp gain
-		adaptive := tolerance.RSS(sm, sb, 0.05)
+		adaptive := tolerance.RSS(sm, sb, captureRepeatabilityDB)
 		t.Method, t.ErrSigma, t.Reason = pickMethod(nominal, adaptive,
 			"nominal amp gain: σ_A", "adaptive: path gain minus nominal mixer+filter gains")
 		t.Captures = 22 // amplitude sweep: coarse ramp + 12-step bisection

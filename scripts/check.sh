@@ -15,7 +15,21 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== concurrency suites (race, unshared cache) =="
+# The memo table and the MC engine merge path are the two places a
+# scheduling-dependent bug could hide; run them race-enabled with
+# -count=2 so a cached ./... result never masks them.
+go test -race -count=2 ./internal/campaign ./internal/mcengine
+
+echo "== golden diff (E6 Table 2) =="
+# Byte-for-byte against the checked-in golden; regenerate deliberately
+# with: go test ./internal/experiments -run Table2Golden -update
+go test -count=1 ./internal/experiments -run 'Table2Golden'
+
 echo "== bench smoke (spectral campaign pair) =="
 go test -run '^$' -bench 'BenchmarkSpectralCampaign' -benchtime 3x .
+
+echo "== bench smoke (MC losses pair) =="
+go test -run '^$' -bench 'BenchmarkMCLosses' -benchtime 3x .
 
 echo "== check OK =="
