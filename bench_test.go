@@ -19,6 +19,7 @@ import (
 	"mstx/internal/dsp"
 	"mstx/internal/experiments"
 	"mstx/internal/fault"
+	"mstx/internal/obs"
 	"mstx/internal/params"
 	"mstx/internal/tolerance"
 )
@@ -556,6 +557,74 @@ func BenchmarkSpectralCampaign(b *testing.B) {
 	faults := float64(dt.Universe.Size()) * float64(b.N)
 	b.ReportMetric(faults/b.Elapsed().Seconds(), "faults/s")
 	b.ReportMetric(100*screened, "%screened")
+}
+
+// --- Observability overhead (DESIGN.md §8) ---
+//
+// The obs layer's contract is zero overhead when disabled: every
+// instrumented engine resolves its handles once per run and a nil
+// registry turns all of them into no-ops. The Off/On pairs below pin
+// that — Off must match the uninstrumented baselines above within
+// noise (<3%), On shows the full-instrumentation price.
+
+// BenchmarkCampaignObsOff runs the pooled spectral campaign with
+// observability disabled (the default state).
+func BenchmarkCampaignObsOff(b *testing.B) {
+	obs.SetDefault(nil)
+	dt := benchDigitalTest(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dt.RunSpectralStats(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCampaignObsOn is the same campaign with a live registry:
+// spans, counters, verdict-latency histogram and worker-utilization
+// accounting all active.
+func BenchmarkCampaignObsOn(b *testing.B) {
+	obs.SetDefault(obs.New())
+	defer obs.SetDefault(nil)
+	dt := benchDigitalTest(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dt.RunSpectralStats(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMCObsOff runs the sharded Monte-Carlo loss estimate with
+// observability disabled, spending the full 400k-draw budget (no early
+// stop) so the workload is identical across runs.
+func BenchmarkMCObsOff(b *testing.B) {
+	obs.SetDefault(nil)
+	p, e, spec, n := mcLossesCase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tolerance.MonteCarloLosses(p, e, spec, spec, n, 41, tolerance.MCOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkMCObsOn is the same estimate with a live registry: run
+// span, per-round barrier/merge histograms and the engine counters.
+func BenchmarkMCObsOn(b *testing.B) {
+	obs.SetDefault(obs.New())
+	defer obs.SetDefault(nil)
+	p, e, spec, n := mcLossesCase()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tolerance.MonteCarloLosses(p, e, spec, spec, n, 41, tolerance.MCOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
 }
 
 // BenchmarkSpectralCampaignSeed is the seed path of the same campaign:

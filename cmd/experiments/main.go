@@ -7,6 +7,14 @@
 //	experiments [-fig1] [-tones] [-fig2] [-fig3] [-fig4] [-table1]
 //	            [-table2] [-path] [-fig6] [-topoff] [-quick]
 //	            [-workers K] [-list]
+//	            [-metrics] [-trace] [-obs-out file] [-debug-addr host:port]
+//
+// Result tables go to stdout; progress headers and all diagnostics go
+// to stderr, so `experiments -table2 > table2.txt` captures exactly
+// the table (the golden files under internal/experiments/testdata are
+// compared against stdout alone). -metrics and -trace print the
+// internal/obs report after the run, to stderr or to -obs-out;
+// -debug-addr serves /metrics, /trace and /debug/pprof over HTTP.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"os"
 
 	"mstx/internal/experiments"
+	"mstx/internal/obs"
 )
 
 func main() {
@@ -28,19 +37,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig1    = fs.Bool("fig1", false, "E1: output spectra of the faulty 16-tap filter (Figure 1)")
-		tones   = fs.Bool("tones", false, "E2: fault coverage vs. number of stimulus tones (§3)")
-		fig2    = fs.Bool("fig2", false, "E3: parameter distribution and loss regions (Figure 2)")
-		fig3    = fs.Bool("fig3", false, "E4: composition boundary checks (Figure 3)")
-		fig4    = fs.Bool("fig4", false, "E5: IIP3 accuracy by translation method (Figure 4)")
-		table1  = fs.Bool("table1", false, "E7: synthesized test plan (Table 1)")
-		table2  = fs.Bool("table2", false, "E6: FCL/YL threshold sweep (Table 2)")
-		pathE   = fs.Bool("path", false, "E8: digital filter tested through the analog path (§5)")
-		fig6    = fs.Bool("fig6", false, "E9: experimental set-up attribute walk (Figure 6)")
-		topoff  = fs.Bool("topoff", false, "E10: ATPG top-off of the functional residue (DFT reduction)")
-		quick   = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
-		workers = fs.Int("workers", 0, "Monte-Carlo worker fan-out for E5/E6 (0 = GOMAXPROCS; results identical for any value)")
-		list    = fs.Bool("list", false, "print the selected experiment IDs without running them")
+		fig1      = fs.Bool("fig1", false, "E1: output spectra of the faulty 16-tap filter (Figure 1)")
+		tones     = fs.Bool("tones", false, "E2: fault coverage vs. number of stimulus tones (§3)")
+		fig2      = fs.Bool("fig2", false, "E3: parameter distribution and loss regions (Figure 2)")
+		fig3      = fs.Bool("fig3", false, "E4: composition boundary checks (Figure 3)")
+		fig4      = fs.Bool("fig4", false, "E5: IIP3 accuracy by translation method (Figure 4)")
+		table1    = fs.Bool("table1", false, "E7: synthesized test plan (Table 1)")
+		table2    = fs.Bool("table2", false, "E6: FCL/YL threshold sweep (Table 2)")
+		pathE     = fs.Bool("path", false, "E8: digital filter tested through the analog path (§5)")
+		fig6      = fs.Bool("fig6", false, "E9: experimental set-up attribute walk (Figure 6)")
+		topoff    = fs.Bool("topoff", false, "E10: ATPG top-off of the functional residue (DFT reduction)")
+		quick     = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
+		workers   = fs.Int("workers", 0, "Monte-Carlo worker fan-out for E5/E6 (0 = GOMAXPROCS; results identical for any value)")
+		list      = fs.Bool("list", false, "print the selected experiment IDs without running them")
+		metrics   = fs.Bool("metrics", false, "print a Prometheus-format metrics report after the run")
+		trace     = fs.Bool("trace", false, "print a span trace report after the run")
+		obsOut    = fs.String("obs-out", "", "write the -metrics/-trace reports to this file instead of stderr")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,8 +64,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// Observability: a registry only when asked for, so the default run
+	// keeps the engines on their nil-registry fast path.
+	var reg *obs.Registry
+	if *metrics || *trace || *obsOut != "" || *debugAddr != "" {
+		reg = obs.New()
+		obs.SetDefault(reg)
+		defer obs.SetDefault(nil)
+		if *debugAddr != "" {
+			addr, _, err := obs.ServeDebug(*debugAddr, reg)
+			if err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "experiments: debug server on http://%s (metrics, trace, debug/pprof)\n", addr)
+		}
+		defer func() {
+			if err := writeObsReport(reg, stderr, *metrics || *obsOut != "", *trace, *obsOut); err != nil {
+				fmt.Fprintln(stderr, "experiments:", err)
+			}
+		}()
+	}
+	runCtx, runSp := obs.Span(nil, "experiments.run")
+	defer runSp.End()
+
 	all := !(*fig1 || *tones || *fig2 || *fig3 || *fig4 || *table1 || *table2 || *pathE || *fig6 || *topoff)
 	failed := false
+	// Result tables go to stdout; the progress header goes to stderr so
+	// redirected stdout is byte-comparable against the golden tables.
 	run := func(enabled bool, id, title string, f func() (interface{ Format() string }, error)) {
 		if (!enabled && !all) || failed {
 			return
@@ -61,8 +100,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s — %s\n", id, title)
 			return
 		}
-		fmt.Fprintf(stdout, "==== %s — %s ====\n", id, title)
+		fmt.Fprintf(stderr, "==== %s — %s ====\n", id, title)
+		_, sp := obs.Span(runCtx, id)
 		res, err := f()
+		sp.End()
 		if err != nil {
 			fmt.Fprintf(stderr, "experiments: %s failed: %v\n", id, err)
 			failed = true
@@ -122,4 +163,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// writeObsReport emits the -metrics and/or -trace run report to
+// stderr, or to the -obs-out file when given (metrics implied then).
+func writeObsReport(reg *obs.Registry, stderr io.Writer, metrics, trace bool, outPath string) error {
+	w := stderr
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if metrics {
+		if err := reg.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if trace {
+		if err := reg.WriteTrace(w); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -65,7 +65,34 @@ func TestRunSelectedExperiment(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
 	}
-	if !strings.Contains(stdout, "E6/Table2") || !strings.Contains(stdout, "MC FCL") {
+	if !strings.Contains(stdout, "MC FCL") {
 		t.Errorf("Table 2 output missing:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "==== E6/Table2") {
+		t.Errorf("progress header missing from stderr:\n%s", stderr)
+	}
+}
+
+// TestStdoutCarriesOnlyResultTables is the regression test for the
+// golden-file contract: redirected stdout must be exactly the result
+// tables — progress headers and every diagnostic stay on stderr.
+func TestStdoutCarriesOnlyResultTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment execution in -short mode")
+	}
+	code, stdout, stderr := runCapture(t, "-table2", "-quick", "-workers", "4", "-metrics", "-trace")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	for _, banned := range []string{"====", "# TYPE", "TRACE"} {
+		if strings.Contains(stdout, banned) {
+			t.Errorf("stdout polluted with %q:\n%s", banned, stdout)
+		}
+	}
+	if !strings.Contains(stderr, "# TYPE mc_runs_total counter") {
+		t.Errorf("-metrics report missing the MC engine counters:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "TRACE") || !strings.Contains(stderr, "E6/Table2") {
+		t.Errorf("-trace report missing the experiment span:\n%s", stderr)
 	}
 }

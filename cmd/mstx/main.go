@@ -7,6 +7,7 @@
 //
 //	mstx [-seed N] [-fault name=delta] [-n 4096] [-plan]
 //	     [-mc-refine] [-mc-losses] [-mc-samples N] [-mc-ci W] [-workers K]
+//	     [-metrics] [-trace] [-obs-out file] [-debug-addr host:port]
 //
 // Faults: amp-gain, mixer-gain, mixer-iip3, lpf-fc, lpf-gain,
 // lo-freq (value is added to the parameter; lpf-fc is relative).
@@ -15,6 +16,14 @@
 // replaces the analytic propagation error budgets with MC-estimated
 // sigmas before executing, -mc-losses prints an engine-backed FCL/YL
 // estimate (with 95% CI half-widths) for every translated test.
+//
+// The observability flags turn the internal/obs layer on: -metrics
+// prints a Prometheus-format metrics report and -trace an indented
+// span report after the run, both to stderr (or to a file with
+// -obs-out, so the reports never mix into piped stdout). -debug-addr
+// additionally serves /metrics, /trace and /debug/pprof over HTTP for
+// the life of the process. With none of these flags the engines run
+// with observability disabled — the nil-registry fast path.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 
 	"mstx/internal/core"
 	"mstx/internal/experiments"
+	"mstx/internal/obs"
 	"mstx/internal/params"
 	"mstx/internal/path"
 	"mstx/internal/tolerance"
@@ -54,6 +64,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mcSamples = fs.Int("mc-samples", 200000, "Monte-Carlo sample budget per estimate")
 		mcCI      = fs.Float64("mc-ci", 0.005, "95% CI half-width early-stop target for -mc-losses (0 = spend the full budget)")
 		workers   = fs.Int("workers", 0, "Monte-Carlo worker fan-out (0 = GOMAXPROCS; results identical for any value)")
+		metrics   = fs.Bool("metrics", false, "print a Prometheus-format metrics report after the run")
+		trace     = fs.Bool("trace", false, "print a span trace report after the run")
+		obsOut    = fs.String("obs-out", "", "write the -metrics/-trace reports to this file instead of stderr")
+		debugAddr = fs.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +82,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mstx:", err)
 		return 1
 	}
+
+	// Observability: install a registry only when a flag asks for it,
+	// so the default run keeps the engines on their nil-registry fast
+	// path. The report is emitted on every exit path (including
+	// failures — a failing run is exactly when the trace matters).
+	var reg *obs.Registry
+	if *metrics || *trace || *obsOut != "" || *debugAddr != "" {
+		reg = obs.New()
+		obs.SetDefault(reg)
+		defer obs.SetDefault(nil)
+		if *debugAddr != "" {
+			addr, _, err := obs.ServeDebug(*debugAddr, reg)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "mstx: debug server on http://%s (metrics, trace, debug/pprof)\n", addr)
+		}
+		defer func() {
+			if err := writeObsReport(reg, stderr, *metrics || *obsOut != "", *trace, *obsOut); err != nil {
+				fmt.Fprintln(stderr, "mstx:", err)
+			}
+		}()
+	}
+	runCtx, runSp := obs.Span(nil, "mstx.run")
+	defer runSp.End()
+
+	_, synthSp := obs.Span(runCtx, "mstx.synthesize")
 	spec, err := experiments.BuildDefaultSpec()
 	if err != nil {
 		return fail(err)
@@ -77,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	plan, err := synth.Synthesize(nil)
+	synthSp.End()
 	if err != nil {
 		return fail(err)
 	}
@@ -100,7 +142,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	mcCfg := translate.MCConfig{Samples: *mcSamples, Seed: *seed, Workers: *workers}
 	if *mcRefine {
-		if err := translate.RefineErrSigmaMC(device, plan, mcCfg); err != nil {
+		_, refineSp := obs.Span(runCtx, "mstx.mc_refine")
+		err := translate.RefineErrSigmaMC(device, plan, mcCfg)
+		refineSp.End()
+		if err != nil {
 			return fail(err)
 		}
 	}
@@ -115,7 +160,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "injected parametric fault: %s\n\n", *faultArg)
 	}
 	if *mcLosses {
-		if err := printMCLosses(stdout, plan, *mcSamples, *mcCI, *workers, *seed); err != nil {
+		_, lossSp := obs.Span(runCtx, "mstx.mc_losses")
+		err := printMCLosses(stdout, plan, *mcSamples, *mcCI, *workers, *seed)
+		lossSp.End()
+		if err != nil {
 			return fail(err)
 		}
 	}
@@ -124,7 +172,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// Measurements run with the device's own noise active (a seeded
 	// RNG): sub-LSB spurs such as the LO leak rely on converter dither
 	// to be measured linearly.
+	_, execSp := obs.Span(runCtx, "mstx.execute")
 	outcomes, err := synth.Execute(device, cfg, rand.New(rand.NewSource(*seed+1)))
+	execSp.End()
 	if err != nil {
 		return fail(err)
 	}
@@ -144,7 +194,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			o.Result.Measured, o.Result.Unit, o.Result.True, o.Result.Delta())
 	}
 	rng := rand.New(rand.NewSource(*seed + 99))
+	_, boundSp := obs.Span(runCtx, "mstx.boundaries")
 	checks, err := synth.CheckBoundaries(device, cfg, rng)
+	boundSp.End()
 	if err != nil {
 		return fail(err)
 	}
@@ -198,6 +250,31 @@ func printMCLosses(w io.Writer, plan *translate.Plan, samples int, ci float64, w
 		fmt.Fprintf(w, ")\n")
 	}
 	fmt.Fprintln(w)
+	return nil
+}
+
+// writeObsReport emits the -metrics and/or -trace run report to
+// stderr, or to the -obs-out file when given (metrics implied then).
+func writeObsReport(reg *obs.Registry, stderr io.Writer, metrics, trace bool, outPath string) error {
+	w := stderr
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if metrics {
+		if err := reg.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if trace {
+		if err := reg.WriteTrace(w); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

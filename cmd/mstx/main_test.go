@@ -1,6 +1,9 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -83,6 +86,69 @@ func TestNominalDeviceAccepted(t *testing.T) {
 	if !strings.Contains(stdout, "Monte-Carlo loss estimates") || !strings.Contains(stdout, "FCL") {
 		t.Errorf("-mc-losses output missing:\n%s", stdout)
 	}
+}
+
+// checkPromParseable asserts every non-comment, non-blank line of a
+// Prometheus text exposition is "name[{labels}] value" with a numeric
+// value.
+func checkPromParseable(t *testing.T, text string) {
+	t.Helper()
+	n := 0
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("unparseable metrics line %q", line)
+			continue
+		}
+		if v := fields[1]; v != "+Inf" && v != "-Inf" && v != "NaN" {
+			if _, err := strconv.ParseFloat(v, 64); err != nil {
+				t.Errorf("non-numeric value in %q: %v", line, err)
+			}
+		}
+		n++
+	}
+	if n == 0 {
+		t.Error("metrics report has no sample lines")
+	}
+}
+
+func TestObsReportsGoToStderrNotStdout(t *testing.T) {
+	code, stdout, stderr := runCapture(t,
+		"-plan", "-mc-refine", "-mc-samples", "2000", "-metrics", "-trace")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "# TYPE") || !strings.Contains(stderr, "translate_mc_draws_total") {
+		t.Errorf("-metrics report missing from stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "TRACE") || !strings.Contains(stderr, "mstx.run") {
+		t.Errorf("-trace report missing from stderr:\n%s", stderr)
+	}
+	if strings.Contains(stdout, "# TYPE") || strings.Contains(stdout, "TRACE") {
+		t.Errorf("obs reports leaked into stdout:\n%s", stdout)
+	}
+}
+
+func TestObsOutFileIsParseable(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "metrics.prom")
+	code, _, stderr := runCapture(t,
+		"-plan", "-mc-refine", "-mc-samples", "2000", "-obs-out", out)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("reading -obs-out file: %v", err)
+	}
+	text := string(b)
+	if !strings.Contains(text, "translate_mc_draws_total") {
+		t.Errorf("-obs-out report lacks the refine counter:\n%s", text)
+	}
+	checkPromParseable(t, text)
 }
 
 func TestFaultyDeviceRejected(t *testing.T) {

@@ -27,13 +27,16 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mstx/internal/digital"
 	"mstx/internal/fault"
+	"mstx/internal/obs"
 	"mstx/internal/spectest"
 )
 
@@ -145,6 +148,26 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 	nBatches := (nf + lanesPerBatch - 1) / lanesPerBatch
 	stats := &Stats{Faults: nf, Batches: nBatches}
 
+	// Observability: resolve every handle once per run. With no
+	// registry installed (the default) all handles are nil, every use
+	// below is a nil-receiver no-op, and none of the timing branches
+	// take a clock reading — the disabled path is benchmarked to stay
+	// within noise of the uninstrumented engine.
+	reg := obs.Default()
+	var (
+		runCtx      context.Context
+		runSp       *obs.SpanHandle
+		verdictHist *obs.Histogram
+		genCounter  *obs.Counter
+		busyNanos   int64
+	)
+	if reg != nil {
+		runCtx, runSp = reg.Span(context.Background(), "campaign.run")
+		defer runSp.End()
+		verdictHist = reg.Histogram("campaign_verdict_seconds", 0, 0.1, 64)
+		genCounter = reg.Counter("campaign_records_generated_total")
+	}
+
 	// The screen's shared verdict: a zero-diff lane's spectrum is the
 	// good record's spectrum, so its verdict is the good record's. The
 	// good record is the same for every batch (lane 0 of each pass),
@@ -155,10 +178,14 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 	// fault cones against.
 	goodSim := digital.NewFIRSim(e.U.FIR)
 	var (
-		good []int64
-		base *digital.Baseline
-		err  error
+		good   []int64
+		base   *digital.Baseline
+		err    error
+		baseSp *obs.SpanHandle
 	)
+	if reg != nil {
+		_, baseSp = reg.Span(runCtx, "campaign.baseline")
+	}
 	useDiff := !e.Opts.DisableDifferential && goodSim.Compiled() &&
 		digital.BaselineBytes(e.U.FIR, len(xs)) <= maxBaselineBytes
 	if useDiff {
@@ -175,6 +202,7 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 	}
 	stats.Differential = useDiff
 	goodDetected, err := e.Det.DetectRecord(good, nil)
+	baseSp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -189,6 +217,15 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 	simErrs := make([]error, nBatches)
 	detErrs := make([]error, nBatches)
 	jobs := make(chan job, e.Opts.Queue)
+
+	var (
+		pipeSp    *obs.SpanHandle
+		pipeStart time.Time
+	)
+	if reg != nil {
+		_, pipeSp = reg.Span(runCtx, "campaign.pipeline")
+		pipeStart = time.Now()
+	}
 
 	// Stage 1: bounded record-generation pool. Batches are claimed
 	// from an atomic counter so at most SimWorkers goroutines exist.
@@ -227,6 +264,7 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 					atomic.StoreInt32(&failed, 1)
 					continue
 				}
+				genCounter.Add(int64(len(lanes)))
 				jobs <- job{batch: b, lo: lo, good: good, lanes: lanes}
 			}
 		}()
@@ -250,16 +288,16 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 		go func() {
 			defer detWG.Done()
 			var sc *spectest.Scratch
-			for j := range jobs {
+			process := func(j job) {
 				if detErrs[j.batch] != nil || atomic.LoadInt32(&failed) != 0 {
-					continue
+					return
 				}
 				if sc == nil {
 					var err error
 					if sc, err = e.Det.NewScratch(); err != nil {
 						detErrs[j.batch] = err
 						atomic.StoreInt32(&failed, 1)
-						continue
+						return
 					}
 				}
 				for i, rec := range j.lanes {
@@ -282,7 +320,14 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 							continue
 						}
 					}
+					var t0 time.Time
+					if verdictHist != nil {
+						t0 = time.Now()
+					}
 					det, err := e.Det.DetectRecord(rec, sc)
+					if verdictHist != nil {
+						verdictHist.Observe(time.Since(t0).Seconds())
+					}
 					if err != nil {
 						detErrs[j.batch] = err
 						atomic.StoreInt32(&failed, 1)
@@ -296,9 +341,19 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 					results[j.lo+i] = res
 				}
 			}
+			for j := range jobs {
+				if reg != nil {
+					t := time.Now()
+					process(j)
+					atomic.AddInt64(&busyNanos, int64(time.Since(t)))
+				} else {
+					process(j)
+				}
+			}
 		}()
 	}
 	detWG.Wait()
+	pipeSp.End()
 
 	for b := 0; b < nBatches; b++ {
 		if simErrs[b] != nil {
@@ -311,6 +366,24 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 	stats.Screened = int(screened)
 	stats.Memoized = int(memoized)
 	stats.Spectra += int(spectra)
+	if reg != nil {
+		reg.Counter("campaign_runs_total").Inc()
+		reg.Counter("campaign_faults_total").Add(int64(nf))
+		reg.Counter("campaign_batches_total").Add(int64(nBatches))
+		reg.Counter("campaign_screened_total").Add(screened)
+		reg.Counter("campaign_memo_hits_total").Add(memoized)
+		if memo != nil {
+			// A miss is a lane that paid its own transform while the
+			// memo was on — exactly the spectra computed in the pool.
+			reg.Counter("campaign_memo_misses_total").Add(spectra)
+		}
+		reg.Counter("campaign_spectra_total").Add(int64(stats.Spectra))
+		if wall := time.Since(pipeStart).Seconds(); wall > 0 {
+			busy := float64(atomic.LoadInt64(&busyNanos)) / 1e9
+			reg.Gauge("campaign_fft_worker_utilization").
+				Set(busy / (wall * float64(e.Opts.DetectWorkers)))
+		}
+	}
 	return &fault.Report{Results: results, Patterns: len(xs)}, stats, nil
 }
 

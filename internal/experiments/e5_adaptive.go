@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"mstx/internal/mcengine"
+	"mstx/internal/obs"
 	"mstx/internal/params"
 )
 
@@ -85,8 +87,10 @@ func Fig4(opts Fig4Options) (*Fig4Result, error) {
 	merge := func(total [][3]float64, _ int, part [][3]float64) [][3]float64 {
 		return append(total, part...)
 	}
+	_, devSp := obs.Span(context.Background(), "e5.devices")
 	all, _, err := mcengine.Run(opts.Devices, opts.Seed+400,
 		mcengine.Options{Workers: opts.Workers, BatchSize: 1}, nil, kernel, merge, nil)
+	devSp.End()
 	if err != nil {
 		return nil, err
 	}

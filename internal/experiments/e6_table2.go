@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"mstx/internal/mcengine"
+	"mstx/internal/obs"
 	"mstx/internal/params"
 	"mstx/internal/path"
 	"mstx/internal/tolerance"
@@ -121,6 +123,12 @@ func Table2(opts Table2Options) (*Table2Result, error) {
 	}
 
 	res := &Table2Result{Devices: opts.Devices}
+	// Observability: the device-population measurement and the loss
+	// cross-check are E6's two expensive phases; give each a child
+	// span so a slow Table 2 run is attributable.
+	e6Ctx, e6Sp := obs.Span(context.Background(), "e6.table2")
+	defer e6Sp.End()
+	_, devSp := obs.Span(e6Ctx, "e6.devices")
 	// One engine lane per device: the device draw and every study's
 	// measurement of it happen in the lane, so the fan-out across
 	// workers never reorders a device's RNG consumption.
@@ -148,9 +156,12 @@ func Table2(opts Table2Options) (*Table2Result, error) {
 	}
 	all, _, err := mcengine.Run(opts.Devices, opts.Seed+600,
 		mcengine.Options{Workers: opts.Workers, BatchSize: 1}, nil, kernel, merge, nil)
+	devSp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, lossSp := obs.Span(e6Ctx, "e6.losscheck")
+	defer lossSp.End()
 	for j, s := range studies {
 		deltas := make([]float64, len(all))
 		for i, v := range all {

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mstx/internal/core"
 	"mstx/internal/dsp"
 	"mstx/internal/fault"
+	"mstx/internal/obs"
 )
 
 // PathFaultRow is one campaign of the E8 study.
@@ -77,6 +79,11 @@ func PathFaultSim(opts PathFaultOptions) (*PathFaultResult, error) {
 		return nil, err
 	}
 	res := &PathFaultResult{}
+	// Observability: one child span per campaign of the study, so the
+	// trace shows where an E8 run spends its time (the long-record
+	// spectral campaign dominates).
+	e8Ctx, e8Sp := obs.Span(context.Background(), "e8.pathfault")
+	defer e8Sp.End()
 
 	build := func(patterns int) (*core.DigitalTest, error) {
 		o := core.DefaultDigitalTestOptions()
@@ -91,7 +98,9 @@ func PathFaultSim(opts PathFaultOptions) (*PathFaultResult, error) {
 		return nil, err
 	}
 	res.UniverseSize = dtLong.Universe.Size()
+	_, exactSp := obs.Span(e8Ctx, "e8.exact")
 	exact, err := dtLong.RunExact()
+	exactSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +114,9 @@ func PathFaultSim(opts PathFaultOptions) (*PathFaultResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	_, shortSp := obs.Span(e8Ctx, "e8.spectral_short")
 	short, err := dtShort.RunSpectral()
+	shortSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +128,9 @@ func PathFaultSim(opts PathFaultOptions) (*PathFaultResult, error) {
 	// Spectral with the long record, through the pooled campaign
 	// engine (its report is identical to the serial path; the stats
 	// show how much transform work the zero-diff screen removed).
+	_, longSp := obs.Span(e8Ctx, "e8.spectral_long")
 	long, stats, err := dtLong.RunSpectralStats()
+	longSp.End()
 	if err != nil {
 		return nil, err
 	}

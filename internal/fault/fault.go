@@ -6,6 +6,7 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,6 +14,7 @@ import (
 
 	"mstx/internal/digital"
 	"mstx/internal/netlist"
+	"mstx/internal/obs"
 )
 
 // Universe holds a fault list for a FIR circuit together with the
@@ -229,6 +231,14 @@ func Simulate(u *Universe, xs []int64, det Detector) (*Report, error) {
 	results := make([]Result, nf)
 	const lanesPerBatch = 63
 	nBatches := (nf + lanesPerBatch - 1) / lanesPerBatch
+	// Observability: one span and three counter bumps per campaign —
+	// all no-ops when no registry is installed.
+	reg := obs.Default()
+	var sp *obs.SpanHandle
+	if reg != nil {
+		_, sp = reg.Span(context.Background(), "fault.simulate")
+		defer sp.End()
+	}
 	err := runBatches(nBatches, runtime.GOMAXPROCS(0), func(batch int) error {
 		lo := batch * lanesPerBatch
 		hi := lo + lanesPerBatch
@@ -239,6 +249,11 @@ func Simulate(u *Universe, xs []int64, det Detector) (*Report, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if reg != nil {
+		reg.Counter("fault_sim_runs_total").Inc()
+		reg.Counter("fault_sim_faults_total").Add(int64(nf))
+		reg.Counter("fault_sim_batches_total").Add(int64(nBatches))
 	}
 	return &Report{Results: results, Patterns: len(xs)}, nil
 }

@@ -20,11 +20,15 @@
 package mcengine
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"mstx/internal/obs"
 )
 
 // DefaultBatchSize is the per-lane sample count when Options.BatchSize
@@ -117,6 +121,40 @@ func Run[T, P any](n int, seed int64, opts Options, total T, kernel Kernel[P], m
 	}
 
 	done := 0
+
+	// Observability: handles resolved once per run, all nil (and every
+	// use a no-op) when no registry is installed. Instrumentation is
+	// read-only — it can never change the merged result, which stays
+	// bit-identical for any worker count.
+	reg := obs.Default()
+	var (
+		runSp       *obs.SpanHandle
+		barrierHist *obs.Histogram
+		mergeHist   *obs.Histogram
+		runStart    time.Time
+		rounds      int
+		stopped     bool
+	)
+	if reg != nil {
+		_, runSp = reg.Span(context.Background(), "mcengine.run")
+		defer runSp.End()
+		barrierHist = reg.Histogram("mc_barrier_wait_seconds", 0, 10, 64)
+		mergeHist = reg.Histogram("mc_merge_seconds", 0, 1, 64)
+		runStart = time.Now()
+		defer func() {
+			reg.Counter("mc_runs_total").Inc()
+			reg.Counter("mc_rounds_total").Add(int64(rounds))
+			reg.Counter("mc_samples_total").Add(int64(done))
+			if stopped {
+				reg.Counter("mc_early_stops_total").Inc()
+				reg.Gauge("mc_early_stop_round").Set(float64(rounds))
+			}
+			if wall := time.Since(runStart).Seconds(); wall > 0 {
+				reg.Gauge("mc_samples_per_sec").Set(float64(done) / wall)
+			}
+		}()
+	}
+
 	for lo := 0; lo < lanes; lo += round {
 		hi := lo + round
 		if hi > lanes {
@@ -156,19 +194,36 @@ func Run[T, P any](n int, seed int64, opts Options, total T, kernel Kernel[P], m
 				}
 			}()
 		}
+		var barrierStart time.Time
+		if reg != nil {
+			barrierStart = time.Now()
+		}
 		wg.Wait()
+		if reg != nil {
+			barrierHist.Observe(time.Since(barrierStart).Seconds())
+		}
 		for i, e := range errs {
 			if e != nil {
 				var zero T
 				return zero, done, fmt.Errorf("mcengine: lane %d: %w", lo+i, e)
 			}
 		}
+		var mergeStart time.Time
+		if reg != nil {
+			mergeStart = time.Now()
+		}
 		for i := range parts {
 			l := lo + i
 			total = merge(total, l, parts[i])
 			done += laneCount(l)
 		}
+		if reg != nil {
+			mergeHist.Observe(time.Since(mergeStart).Seconds())
+			reg.Counter("mc_lanes_total").Add(int64(hi - lo))
+		}
+		rounds++
 		if hi < lanes && stop != nil && stop(total, done) {
+			stopped = true
 			return total, done, nil
 		}
 	}

@@ -157,7 +157,7 @@ func Read(r io.Reader) (*Circuit, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("netlist: reading line %d: %w", lineNo+1, err)
 	}
 	if err := c.Validate(); err != nil {
 		return nil, fmt.Errorf("netlist: parsed circuit invalid: %w", err)

@@ -1,0 +1,67 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseNetlist drives Read with arbitrary text. The contract under
+// fuzz: Read never panics; on success the circuit passes Validate and
+// survives a Write/Read round trip with identical statistics. The seed
+// corpus (here and under testdata/fuzz/FuzzParseNetlist) covers every
+// statement kind plus the historically interesting malformed shapes.
+func FuzzParseNetlist(f *testing.F) {
+	seeds := []string{
+		"",
+		"# just a comment\n",
+		"input a\ninput b\nAND y a b\noutput y\n",
+		"input a\nNOT n a\nBUF y n\noutput y\n",
+		"input a\ninput b\ninput c\nXOR s a b c\nXNOR t a b\nOR y s t\noutput y\n",
+		"CONST0 z\nCONST1 o\nNAND y z o\noutput y\n",
+		"input d\ndff q\nbind q d\noutput q\n",
+		"dff q\nNOT n q\nbind q n\noutput q\n", // feedback through the FF
+		"dff q\noutput q\n",                    // unbound FF survives the round trip
+		"input a\nAND y a a\noutput y\noutput y\n",
+		"input a\nFROB y a\n",
+		"input a\nAND y a missing\n",
+		"input a\ninput a\n",
+		"input a\nNOT a a\n",
+		"input a\nAND y a\n",
+		"input\n",
+		"output\n",
+		"output nowhere\n",
+		"bind q\n",
+		"bind q d\n",
+		"input a\nbind a a\n",
+		"dff q\nbind q q\nbind q q\n",
+		"InPuT a\nbUf y a\nOUTPUT y\n", // keywords and gates are case-insensitive
+		"input a\r\nBUF y a\r\noutput y\r\n",
+		"input \x00\nBUF y \x00\noutput y\n",
+		"input ﬀ\nBUF ＃ ﬀ\noutput ＃\n",
+		strings.Repeat("#"+strings.Repeat("x", 200)+"\n", 5),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		c, err := Read(strings.NewReader(text))
+		if err != nil {
+			return // rejection is always acceptable; panics are not
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("Read accepted an invalid circuit: %v\ninput:\n%s", err, text)
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			t.Fatalf("Write failed on a parsed circuit: %v", err)
+		}
+		c2, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of serialized circuit failed: %v\nserialized:\n%s", err, buf.String())
+		}
+		if c.Stats() != c2.Stats() {
+			t.Fatalf("round trip changed the circuit: %v -> %v\ninput:\n%s", c.Stats(), c2.Stats(), text)
+		}
+	})
+}

@@ -95,6 +95,16 @@ func TestReadErrors(t *testing.T) {
 	}
 }
 
+func TestReadOverlongLineIsTaggedError(t *testing.T) {
+	// Beyond the scanner's 1 MiB line budget: must surface as a
+	// package-tagged error, not a bare bufio failure (and never a
+	// panic).
+	text := "input " + strings.Repeat("a", 1<<21) + "\n"
+	if _, err := Read(strings.NewReader(text)); err == nil || !strings.Contains(err.Error(), "netlist:") {
+		t.Fatalf("overlong line: err = %v, want a netlist-tagged error", err)
+	}
+}
+
 func TestReadCommentsAndBlank(t *testing.T) {
 	text := `
 # a comment

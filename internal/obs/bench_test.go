@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkCounterDisabled measures the nil fast path of a call site
+// compiled against the obs API with observability off: one atomic
+// default load amortized per "run" plus a nil branch per increment.
+// This is the per-operation cost the engines pay when no registry is
+// installed; it must stay within noise of not being instrumented at
+// all (the repo-root ObsOff benchmark pair pins the end-to-end
+// claim).
+func BenchmarkCounterDisabled(b *testing.B) {
+	c := Default().Counter("bench_disabled_total") // nil handle
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkCounterEnabled is the enabled counterpart: one atomic add.
+func BenchmarkCounterEnabled(b *testing.B) {
+	r := New()
+	c := r.Counter("bench_enabled_total")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkHistogramObserve measures the striped histogram's write
+// path (one atomic cursor bump, one stripe mutex).
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := New()
+	h := r.Histogram("bench_hist", 0, 1, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i&1023) / 1024)
+	}
+}
+
+// BenchmarkHistogramObserveParallel exercises the stripes under
+// contention — the case the striping exists for.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	r := New()
+	h := r.Histogram("bench_hist_par", 0, 1, 64)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.Observe(float64(i&1023) / 1024)
+			i++
+		}
+	})
+}
+
+// BenchmarkSpanDisabled measures the disabled span path: context
+// lookup, atomic load, nil return — no clock read, no allocation.
+func BenchmarkSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := Span(ctx, "off")
+		sp.End()
+	}
+}
+
+// BenchmarkSpanEnabled is the enabled counterpart: two clock reads,
+// one context value, one ring append.
+func BenchmarkSpanEnabled(b *testing.B) {
+	r := New()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := r.Span(ctx, "on")
+		sp.End()
+	}
+}

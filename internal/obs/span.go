@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// spanCtxKey carries the active span (for parent/child nesting) and
+// regCtxKey the registry itself through a context chain.
+type spanCtxKey struct{}
+type regCtxKey struct{}
+
+// WithRegistry returns a context that carries r; Span calls on the
+// returned context (and its descendants) record into r even when no
+// process-wide default is installed.
+func WithRegistry(ctx context.Context, r *Registry) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, regCtxKey{}, r)
+}
+
+// FromContext returns the registry carried by ctx, or nil.
+func FromContext(ctx context.Context) *Registry {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(regCtxKey{}).(*Registry)
+	return r
+}
+
+// SpanHandle is an open span. End completes it and records it into
+// the registry's ring. The nil handle (disabled observability) is a
+// valid no-op.
+type SpanHandle struct {
+	reg    *Registry
+	name   string
+	parent string
+	depth  int
+	start  time.Time
+}
+
+// SpanRecord is one completed span in the ring.
+type SpanRecord struct {
+	// Name is the span name; Parent the enclosing span's name ("" for
+	// a root span).
+	Name, Parent string
+	// Depth is the nesting depth (0 for a root span).
+	Depth int
+	// Start is the monotonic offset from the registry's creation.
+	Start time.Duration
+	// Duration is the span's monotonic elapsed time.
+	Duration time.Duration
+}
+
+// Span starts a span on the registry resolved from ctx (WithRegistry)
+// or, failing that, the process default. When neither is installed it
+// returns the context unchanged and a nil handle — the disabled fast
+// path costs one context lookup and one atomic load, no allocation
+// and no clock read.
+func Span(ctx context.Context, name string) (context.Context, *SpanHandle) {
+	r := FromContext(ctx)
+	if r == nil {
+		r = Default()
+	}
+	return r.Span(ctx, name)
+}
+
+// Span starts a span on r, nested under the span active in ctx (if
+// any). time.Time carries Go's monotonic clock, so the recorded
+// durations are immune to wall-clock steps. Nil-safe.
+func (r *Registry) Span(ctx context.Context, name string) (context.Context, *SpanHandle) {
+	if r == nil {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sp := &SpanHandle{reg: r, name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*SpanHandle); ok && parent != nil {
+		sp.parent = parent.name
+		sp.depth = parent.depth + 1
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// End completes the span and records it. Nil-safe; ending twice
+// records twice (don't).
+func (s *SpanHandle) End() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.reg.spans.add(SpanRecord{
+		Name:     s.name,
+		Parent:   s.parent,
+		Depth:    s.depth,
+		Start:    s.start.Sub(s.reg.start),
+		Duration: now.Sub(s.start),
+	})
+}
+
+// Spans returns the ring's completed spans, oldest first.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	return r.spans.snapshot()
+}
+
+// spanRing is a bounded mutex-guarded ring of completed spans.
+type spanRing struct {
+	mu   sync.Mutex
+	buf  []SpanRecord
+	next int
+	full bool
+}
+
+func newSpanRing(n int) *spanRing {
+	if n <= 0 {
+		return &spanRing{}
+	}
+	return &spanRing{buf: make([]SpanRecord, n)}
+}
+
+func (rg *spanRing) add(rec SpanRecord) {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if len(rg.buf) == 0 {
+		return
+	}
+	rg.buf[rg.next] = rec
+	rg.next++
+	if rg.next == len(rg.buf) {
+		rg.next = 0
+		rg.full = true
+	}
+}
+
+func (rg *spanRing) snapshot() []SpanRecord {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	if !rg.full {
+		out := make([]SpanRecord, rg.next)
+		copy(out, rg.buf[:rg.next])
+		return out
+	}
+	out := make([]SpanRecord, 0, len(rg.buf))
+	out = append(out, rg.buf[rg.next:]...)
+	out = append(out, rg.buf[:rg.next]...)
+	return out
+}

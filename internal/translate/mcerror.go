@@ -1,11 +1,13 @@
 package translate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"mstx/internal/mcengine"
+	"mstx/internal/obs"
 	"mstx/internal/params"
 	"mstx/internal/path"
 	"mstx/internal/tolerance"
@@ -255,6 +257,9 @@ func EstimateReferralError(sp path.Spec, param params.Kind, method params.Method
 	if err != nil {
 		return ErrEstimate{}, err
 	}
+	if reg := obs.Default(); reg != nil {
+		reg.Counter("translate_mc_draws_total").Add(int64(done))
+	}
 	return ErrEstimate{
 		Sigma:         total.mv.Std(),
 		Mean:          total.mv.Mean,
@@ -272,6 +277,15 @@ func RefineErrSigmaMC(p *path.Path, plan *Plan, cfg MCConfig) error {
 	if p == nil || plan == nil {
 		return fmt.Errorf("translate: nil path or plan")
 	}
+	// Observability: one parent span for the refinement pass, one
+	// child span per refined test — all no-ops when disabled.
+	reg := obs.Default()
+	refineCtx := context.Background()
+	var refineSp *obs.SpanHandle
+	if reg != nil {
+		refineCtx, refineSp = reg.Span(refineCtx, "translate.mc_refine")
+		defer refineSp.End()
+	}
 	for i := range plan.Tests {
 		t := &plan.Tests[i]
 		if t.Kind != Propagation {
@@ -284,7 +298,12 @@ func RefineErrSigmaMC(p *path.Path, plan *Plan, cfg MCConfig) error {
 		}
 		c := cfg
 		c.Seed = mcengine.SubstreamSeed(cfg.Seed, i) // independent per test
+		var testSp *obs.SpanHandle
+		if reg != nil {
+			_, testSp = reg.Span(refineCtx, "translate.refine."+string(t.Request.Param))
+		}
 		est, err := EstimateReferralError(p.Spec, t.Request.Param, t.Method, c)
+		testSp.End()
 		if err != nil {
 			return err
 		}

@@ -16,10 +16,11 @@ echo "== go test -race =="
 go test -race ./...
 
 echo "== concurrency suites (race, unshared cache) =="
-# The memo table and the MC engine merge path are the two places a
-# scheduling-dependent bug could hide; run them race-enabled with
-# -count=2 so a cached ./... result never masks them.
-go test -race -count=2 ./internal/campaign ./internal/mcengine
+# The memo table, the MC engine merge path and the obs registry's
+# striped histograms / span ring are the places a scheduling-dependent
+# bug could hide; run them race-enabled with -count=2 so a cached
+# ./... result never masks them.
+go test -race -count=2 ./internal/campaign ./internal/mcengine ./internal/obs
 
 echo "== golden diff (E6 Table 2) =="
 # Byte-for-byte against the checked-in golden; regenerate deliberately
@@ -31,5 +32,15 @@ go test -run '^$' -bench 'BenchmarkSpectralCampaign' -benchtime 3x .
 
 echo "== bench smoke (MC losses pair) =="
 go test -run '^$' -bench 'BenchmarkMCLosses' -benchtime 3x .
+
+echo "== bench smoke (obs off/on pairs) =="
+# The Off legs must track the uninstrumented baselines above within
+# noise — the nil-registry fast path is a hard contract (DESIGN.md §8).
+go test -run '^$' -bench 'BenchmarkCampaignObs|BenchmarkMCObs' -benchtime 3x .
+
+echo "== fuzz smoke (netlist parser) =="
+# Ten seconds of coverage-guided fuzzing on top of the checked-in seed
+# corpus; any panic or round-trip violation fails the gate.
+go test -fuzz=FuzzParseNetlist -fuzztime=10s ./internal/netlist
 
 echo "== check OK =="
