@@ -10,6 +10,7 @@
 package mstx_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -220,7 +221,7 @@ func BenchmarkFaultSimParallel(b *testing.B) {
 	xs := benchRecord(256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fault.Simulate(u, xs, fault.ExactDetector{}); err != nil {
+		if _, err := fault.Simulate(context.Background(), u, xs, fault.ExactDetector{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -297,7 +298,7 @@ func BenchmarkLossAnalyticVsMC(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		an := tolerance.AnalyticLosses(p, e, spec, spec)
-		mc, err := tolerance.MonteCarloLosses(p, e, spec, spec, 50000, 2, tolerance.MCOptions{})
+		mc, err := tolerance.MonteCarloLosses(context.Background(), p, e, spec, spec, 50000, 2, tolerance.MCOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -334,7 +335,7 @@ func BenchmarkMCLossesEngine(b *testing.B) {
 	var drawn int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		est, err := tolerance.MonteCarloLosses(p, e, spec, spec, n, 41, opts)
+		est, err := tolerance.MonteCarloLosses(context.Background(), p, e, spec, spec, n, 41, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -508,7 +509,7 @@ func BenchmarkSimulateFull(b *testing.B) {
 	xs := benchRecord(512)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := fault.Simulate(u, xs, fault.ExactDetector{}); err != nil {
+		if _, err := fault.Simulate(context.Background(), u, xs, fault.ExactDetector{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -603,7 +604,7 @@ func BenchmarkMCObsOff(b *testing.B) {
 	p, e, spec, n := mcLossesCase()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tolerance.MonteCarloLosses(p, e, spec, spec, n, 41, tolerance.MCOptions{}); err != nil {
+		if _, err := tolerance.MonteCarloLosses(context.Background(), p, e, spec, spec, n, 41, tolerance.MCOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -619,7 +620,7 @@ func BenchmarkMCObsOn(b *testing.B) {
 	p, e, spec, n := mcLossesCase()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := tolerance.MonteCarloLosses(p, e, spec, spec, n, 41, tolerance.MCOptions{}); err != nil {
+		if _, err := tolerance.MonteCarloLosses(context.Background(), p, e, spec, spec, n, 41, tolerance.MCOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}

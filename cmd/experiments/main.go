@@ -8,6 +8,8 @@
 //	            [-table2] [-path] [-fig6] [-topoff] [-quick]
 //	            [-workers K] [-list]
 //	            [-metrics] [-trace] [-obs-out file] [-debug-addr host:port]
+//	            [-checkpoint dir] [-checkpoint-every n] [-resume]
+//	            [-timeout d]
 //
 // Result tables go to stdout; progress headers and all diagnostics go
 // to stderr, so `experiments -table2 > table2.txt` captures exactly
@@ -18,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +28,7 @@ import (
 
 	"mstx/internal/experiments"
 	"mstx/internal/obs"
+	"mstx/internal/resilient"
 )
 
 func main() {
@@ -54,6 +58,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace     = fs.Bool("trace", false, "print a span trace report after the run")
 		obsOut    = fs.String("obs-out", "", "write the -metrics/-trace reports to this file instead of stderr")
 		debugAddr = fs.String("debug-addr", "", "serve /metrics, /trace and /debug/pprof on this address")
+		ckptDir   = fs.String("checkpoint", "", "checkpoint directory: snapshot E5/E6/E8 engine progress for -resume")
+		ckptEvery = fs.Int("checkpoint-every", 1, "snapshot every n engine rounds/batches")
+		resume    = fs.Bool("resume", false, "resume from the -checkpoint directory instead of restarting")
+		timeout   = fs.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +70,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "experiments: unexpected arguments: %q\n", fs.Args())
 		fs.Usage()
 		return 2
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(stderr, "experiments: -resume requires -checkpoint")
+		fs.Usage()
+		return 2
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var ckpt *resilient.Checkpointer
+	if *ckptDir != "" {
+		ckpt = &resilient.Checkpointer{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
 	}
 
 	// Observability: a registry only when asked for, so the default run
@@ -139,18 +162,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		func() (interface{ Format() string }, error) { return experiments.Fig3() })
 	run(*fig4, "E5/Fig4", "IIP3 accuracy: full access vs nominal vs adaptive",
 		func() (interface{ Format() string }, error) {
-			return experiments.Fig4(experiments.Fig4Options{Devices: devices, Workers: *workers})
+			return experiments.Fig4(experiments.Fig4Options{
+				Devices: devices, Workers: *workers, Ctx: ctx, Checkpoint: ckpt,
+			})
 		})
 	run(*table2, "E6/Table2", "FCL and YL vs threshold (P1dB, IIP3, fc)",
 		func() (interface{ Format() string }, error) {
-			return experiments.Table2(experiments.Table2Options{Devices: devices, Workers: *workers})
+			return experiments.Table2(experiments.Table2Options{
+				Devices: devices, Workers: *workers, Ctx: ctx, Checkpoint: ckpt,
+			})
 		})
 	run(*table1, "E7/Table1", "synthesized system-level test plan",
 		func() (interface{ Format() string }, error) { return experiments.Table1() })
 	run(*pathE, "E8/§5", "digital filter through the analog path",
 		func() (interface{ Format() string }, error) {
 			return experiments.PathFaultSim(experiments.PathFaultOptions{
-				BasePatterns: base, LongPatterns: long,
+				BasePatterns: base, LongPatterns: long, Ctx: ctx, Checkpoint: ckpt,
 			})
 		})
 	run(*fig6, "E9/Fig6", "experimental set-up attribute walk",

@@ -7,6 +7,7 @@
 //
 //	mstx [-seed N] [-fault name=delta] [-n 4096] [-plan]
 //	     [-mc-refine] [-mc-losses] [-mc-samples N] [-mc-ci W] [-workers K]
+//	     [-checkpoint dir] [-checkpoint-every N] [-resume] [-timeout D]
 //	     [-metrics] [-trace] [-obs-out file] [-debug-addr host:port]
 //
 // Faults: amp-gain, mixer-gain, mixer-iip3, lpf-fc, lpf-gain,
@@ -24,9 +25,17 @@
 // additionally serves /metrics, /trace and /debug/pprof over HTTP for
 // the life of the process. With none of these flags the engines run
 // with observability disabled — the nil-registry fast path.
+//
+// The resilience flags bound and snapshot the Monte-Carlo work:
+// -timeout cancels the run's engines at lane granularity after the
+// given duration, -checkpoint makes them snapshot their merged state
+// at round barriers into the given directory, and -resume restores
+// those snapshots so a killed run continues where it stopped with a
+// bit-identical final result.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +49,7 @@ import (
 	"mstx/internal/obs"
 	"mstx/internal/params"
 	"mstx/internal/path"
+	"mstx/internal/resilient"
 	"mstx/internal/tolerance"
 	"mstx/internal/translate"
 )
@@ -64,6 +74,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mcSamples = fs.Int("mc-samples", 200000, "Monte-Carlo sample budget per estimate")
 		mcCI      = fs.Float64("mc-ci", 0.005, "95% CI half-width early-stop target for -mc-losses (0 = spend the full budget)")
 		workers   = fs.Int("workers", 0, "Monte-Carlo worker fan-out (0 = GOMAXPROCS; results identical for any value)")
+		ckptDir   = fs.String("checkpoint", "", "snapshot the Monte-Carlo engines' merged state into this directory at round barriers")
+		ckptEvery = fs.Int("checkpoint-every", 1, "save a snapshot every N engine rounds")
+		resume    = fs.Bool("resume", false, "resume from snapshots in the -checkpoint directory")
+		timeout   = fs.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
 		metrics   = fs.Bool("metrics", false, "print a Prometheus-format metrics report after the run")
 		trace     = fs.Bool("trace", false, "print a span trace report after the run")
 		obsOut    = fs.String("obs-out", "", "write the -metrics/-trace reports to this file instead of stderr")
@@ -81,6 +95,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "mstx:", err)
 		return 1
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(stderr, "mstx: -resume requires -checkpoint")
+		fs.Usage()
+		return 2
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var ckpt *resilient.Checkpointer
+	if *ckptDir != "" {
+		ckpt = &resilient.Checkpointer{Dir: *ckptDir, Every: *ckptEvery, Resume: *resume}
 	}
 
 	// Observability: install a registry only when a flag asks for it,
@@ -140,10 +170,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	mcCfg := translate.MCConfig{Samples: *mcSamples, Seed: *seed, Workers: *workers}
+	mcCfg := translate.MCConfig{Samples: *mcSamples, Seed: *seed, Workers: *workers, Checkpoint: ckpt}
 	if *mcRefine {
 		_, refineSp := obs.Span(runCtx, "mstx.mc_refine")
-		err := translate.RefineErrSigmaMC(device, plan, mcCfg)
+		err := translate.RefineErrSigmaMC(ctx, device, plan, mcCfg)
 		refineSp.End()
 		if err != nil {
 			return fail(err)
@@ -161,7 +191,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *mcLosses {
 		_, lossSp := obs.Span(runCtx, "mstx.mc_losses")
-		err := printMCLosses(stdout, plan, *mcSamples, *mcCI, *workers, *seed)
+		err := printMCLosses(ctx, stdout, plan, *mcSamples, *mcCI, *workers, *seed, ckpt)
 		lossSp.End()
 		if err != nil {
 			return fail(err)
@@ -227,17 +257,21 @@ func printPlan(w io.Writer, plan *translate.Plan) {
 
 // printMCLosses runs the engine-backed loss estimate for every
 // translated test with an error budget.
-func printMCLosses(w io.Writer, plan *translate.Plan, samples int, ci float64, workers int, seed int64) error {
+func printMCLosses(ctx context.Context, w io.Writer, plan *translate.Plan, samples int, ci float64, workers int, seed int64, ckpt *resilient.Checkpointer) error {
 	fmt.Fprintf(w, "Monte-Carlo loss estimates (budget %d, CI target %g):\n", samples, ci)
 	for i, t := range plan.Tests {
 		if t.Kind == translate.Direct || t.ErrSigma <= 0 {
 			continue
 		}
-		est, err := tolerance.MonteCarloLosses(
+		est, err := tolerance.MonteCarloLosses(ctx,
 			t.Request.Dist, tolerance.Normal{Sigma: t.ErrSigma},
 			t.Request.Limit, t.Request.Limit,
 			samples, seed+1000+int64(i),
-			tolerance.MCOptions{Workers: workers, CheckEvery: 2, TargetHalfWidth: ci})
+			tolerance.MCOptions{
+				Workers: workers, CheckEvery: 2, TargetHalfWidth: ci,
+				Checkpoint:     ckpt,
+				CheckpointName: fmt.Sprintf("losses_%d_%s", i, t.Request.Param),
+			})
 		if err != nil {
 			return fmt.Errorf("%s: %w", t.Request.Param, err)
 		}

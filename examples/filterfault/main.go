@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -47,7 +48,7 @@ func main() {
 		ph := 2 * math.Pi * float64(i) / float64(n)
 		xs[i] = int64(math.Round(230*math.Sin(65*ph) + 230*math.Sin(81*ph)))
 	}
-	rep, err := fault.Simulate(u, xs, fault.ExactDetector{})
+	rep, err := fault.Simulate(context.Background(), u, xs, fault.ExactDetector{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package atpg
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -237,7 +238,7 @@ func TestClassifyAndTopOffOnFIR(t *testing.T) {
 	for i := range xs {
 		xs[i] = int64((i%13)*4 - 24)
 	}
-	rep, err := fault.Simulate(u, xs, fault.ExactDetector{})
+	rep, err := fault.Simulate(context.Background(), u, xs, fault.ExactDetector{})
 	if err != nil {
 		t.Fatal(err)
 	}

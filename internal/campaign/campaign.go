@@ -28,6 +28,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -37,7 +38,16 @@ import (
 	"mstx/internal/digital"
 	"mstx/internal/fault"
 	"mstx/internal/obs"
+	"mstx/internal/resilient"
 	"mstx/internal/spectest"
+)
+
+// Failpoint sites for the deterministic fault-injection harness: one
+// per pipeline stage, fired once per batch. Disabled (nil registry)
+// they cost one atomic load.
+var (
+	fpSimBatch = resilient.Site("campaign.sim_batch")
+	fpDetBatch = resilient.Site("campaign.detect_batch")
 )
 
 // lanesPerBatch is the simulator's fault-lane capacity: 64 bit-lanes
@@ -69,6 +79,20 @@ type Options struct {
 	// faulty records each pay their own transform); memoization is on
 	// by default and changes no verdict.
 	DisableMemo bool
+	// Quarantine recovers a panicking batch (either stage), marks its
+	// faults Quarantined in the Report, and continues the campaign.
+	// Without it the recovered panic aborts the run as an ordinary
+	// error — the process never crashes either way.
+	Quarantine bool
+	// Checkpoint, when enabled, snapshots the batch ledger every
+	// Checkpoint.Every batch completions so a killed campaign resumes
+	// instead of restarting. The resumed Report is bit-identical; the
+	// Memoized/Spectra split in Stats may shift (the memo table is
+	// rebuilt on resume).
+	Checkpoint *resilient.Checkpointer
+	// CheckpointName names this campaign's snapshot inside
+	// Checkpoint.Dir. Default "campaign".
+	CheckpointName string
 }
 
 // maxBaselineBytes caps the differential baseline snapshot (one bit
@@ -93,6 +117,29 @@ type Stats struct {
 	// Differential reports whether record generation replayed fault
 	// cones against a shared baseline (false: full per-batch runs).
 	Differential bool
+	// Quarantined counts faults whose batch panicked and was isolated
+	// under Options.Quarantine (their Results carry no verdict).
+	Quarantined int
+}
+
+// campCkptVersion guards the campCkpt layout.
+const campCkptVersion = 1
+
+// campCkpt is the batch-ledger snapshot of a campaign run: which
+// batches completed, every completed batch's results, the engine
+// counters those batches contributed, and the campaign identity the
+// ledger is only valid for. Spectra excludes the good-record verdict
+// (recomputed on every run, including resumes).
+type campCkpt struct {
+	NF          int
+	Patterns    int
+	StimHash    uint64
+	Done        []bool
+	Results     []fault.Result
+	Screened    int64
+	Memoized    int64
+	Spectra     int64
+	Quarantined int64
 }
 
 // Engine runs spectral stuck-at campaigns for one universe/detector
@@ -139,14 +186,35 @@ type job struct {
 // fault.SerialSimulate(u, xs, det) — together with engine statistics.
 // Detector errors abort the run and surface as campaign errors; the
 // first error in batch order is returned.
-func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
+//
+// Cancellation and deadlines on ctx are honored at batch granularity:
+// an interrupted run drains its pipeline, returns the partial Report
+// (completed batches carry verdicts; the rest keep the fault identity
+// with FirstDiff -1) and an error satisfying errors.Is against
+// resilient.ErrCanceled or resilient.ErrDeadline.
+func (e *Engine) Run(ctx context.Context, xs []int64) (*fault.Report, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(xs) == 0 {
 		return nil, nil, fmt.Errorf("campaign: empty input record")
 	}
 	nf := len(e.U.Faults)
 	results := make([]fault.Result, nf)
+	// Prefill the fault identity so partial (canceled) and quarantined
+	// entries still say which fault they cover.
+	for i, f := range e.U.Faults {
+		results[i] = fault.Result{Fault: f, Tap: e.U.FIR.TapOfNet(f.Net), FirstDiff: -1}
+	}
 	nBatches := (nf + lanesPerBatch - 1) / lanesPerBatch
 	stats := &Stats{Faults: nf, Batches: nBatches}
+
+	// cctx is the internal drain signal: the first stage error (or the
+	// caller's own cancellation) stops sim workers from claiming new
+	// batches and unblocks any worker parked on the bounded jobs send,
+	// so the pipeline never leaks goroutines on early error.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	// Observability: resolve every handle once per run. With no
 	// registry installed (the default) all handles are nil, every use
@@ -209,14 +277,120 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 	stats.Spectra++
 
 	var (
-		screened int64
-		memoized int64
-		spectra  int64
-		failed   int32 // fast-fail flag; completion still drains cleanly
+		screened    int64
+		memoized    int64
+		spectra     int64
+		quarantined int64
+		failed      int32 // fast-fail flag; completion still drains cleanly
 	)
 	simErrs := make([]error, nBatches)
 	detErrs := make([]error, nBatches)
 	jobs := make(chan job, e.Opts.Queue)
+
+	// Checkpoint ledger: completed batches' results and counter
+	// contributions are copied into mutex-guarded shadow state at
+	// completion, so a snapshot never reads lanes another worker is
+	// still writing.
+	ckName := e.Opts.CheckpointName
+	if ckName == "" {
+		ckName = "campaign"
+	}
+	stimHash := hashRecord(xs)
+	var (
+		ledgerMu   sync.Mutex
+		done       []bool
+		ledger     []fault.Result
+		sinceSave  int
+		doneAtLoad []bool
+		ckptErr    error
+	)
+	if e.Opts.Checkpoint.Enabled() {
+		done = make([]bool, nBatches)
+		ledger = make([]fault.Result, nf)
+		copy(ledger, results)
+		var st campCkpt
+		loaded, err := e.Opts.Checkpoint.Load(ckName, campCkptVersion, &st)
+		if err != nil {
+			return nil, nil, err
+		}
+		if loaded {
+			if st.NF != nf || st.Patterns != len(xs) || st.StimHash != stimHash {
+				return nil, nil, fmt.Errorf(
+					"campaign: checkpoint %q is from a different campaign (nf=%d patterns=%d, want nf=%d patterns=%d)",
+					ckName, st.NF, st.Patterns, nf, len(xs))
+			}
+			copy(results, st.Results)
+			copy(ledger, st.Results)
+			copy(done, st.Done)
+			doneAtLoad = append([]bool(nil), st.Done...)
+			screened, memoized = st.Screened, st.Memoized
+			spectra, quarantined = st.Spectra, st.Quarantined
+		}
+	}
+	saveLedgerLocked := func() error {
+		return e.Opts.Checkpoint.Save(ckName, campCkptVersion, campCkpt{
+			NF: nf, Patterns: len(xs), StimHash: stimHash,
+			Done:        append([]bool(nil), done...),
+			Results:     append([]fault.Result(nil), ledger...),
+			Screened:    atomic.LoadInt64(&screened),
+			Memoized:    atomic.LoadInt64(&memoized),
+			Spectra:     atomic.LoadInt64(&spectra),
+			Quarantined: atomic.LoadInt64(&quarantined),
+		})
+	}
+	// commitBatch publishes one completed batch: its counter deltas go
+	// into the run totals and — when checkpointing — its lanes go into
+	// the ledger under the same lock that snapshots, so a saved state
+	// never counts a batch it doesn't mark done.
+	commitBatch := func(b, lo, hi int, scr, mem, spec, quar int64) {
+		if !e.Opts.Checkpoint.Enabled() {
+			atomic.AddInt64(&screened, scr)
+			atomic.AddInt64(&memoized, mem)
+			atomic.AddInt64(&spectra, spec)
+			atomic.AddInt64(&quarantined, quar)
+			return
+		}
+		ledgerMu.Lock()
+		defer ledgerMu.Unlock()
+		atomic.AddInt64(&screened, scr)
+		atomic.AddInt64(&memoized, mem)
+		atomic.AddInt64(&spectra, spec)
+		atomic.AddInt64(&quarantined, quar)
+		copy(ledger[lo:hi], results[lo:hi])
+		done[b] = true
+		sinceSave++
+		if sinceSave >= e.Opts.Checkpoint.Interval() {
+			sinceSave = 0
+			if err := saveLedgerLocked(); err != nil && ckptErr == nil {
+				ckptErr = err
+				atomic.StoreInt32(&failed, 1)
+				cancel()
+			}
+		}
+	}
+	// quarantineBatch isolates a panicked batch: its lanes revert to
+	// the bare fault identity (the panic may have left them
+	// half-written) and the campaign continues.
+	quarantineBatch := func(b, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f := e.U.Faults[i]
+			results[i] = fault.Result{Fault: f, Tap: e.U.FIR.TapOfNet(f.Net), FirstDiff: -1, Quarantined: true}
+		}
+		commitBatch(b, lo, hi, 0, 0, 0, int64(hi-lo))
+	}
+	// Panic safety net for the pool goroutines themselves: a panic
+	// outside the per-batch resilient.Call (engine bookkeeping, not
+	// batch work) is recovered, recorded, and aborts the run instead
+	// of crashing the process.
+	var (
+		poolOnce sync.Once
+		poolErr  error
+	)
+	onPool := func(err error) {
+		poolOnce.Do(func() { poolErr = err })
+		atomic.StoreInt32(&failed, 1)
+		cancel()
+	}
 
 	var (
 		pipeSp    *obs.SpanHandle
@@ -236,16 +410,17 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 	}
 	nextBatch := int64(-1)
 	for w := 0; w < simWorkers; w++ {
-		simWG.Add(1)
-		go func() {
-			defer simWG.Done()
+		resilient.Go(&simWG, "campaign.sim_worker", func() error {
 			for {
 				b := int(atomic.AddInt64(&nextBatch, 1))
 				if b >= nBatches {
-					return
+					return nil
 				}
-				if atomic.LoadInt32(&failed) != 0 {
-					continue
+				if atomic.LoadInt32(&failed) != 0 || cctx.Err() != nil {
+					return nil
+				}
+				if doneAtLoad != nil && doneAtLoad[b] {
+					continue // restored from the checkpoint ledger
 				}
 				lo := b * lanesPerBatch
 				hi := lo + lanesPerBatch
@@ -253,21 +428,40 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 					hi = nf
 				}
 				var lanes [][]int64
-				var err error
-				if useDiff {
-					lanes, err = fault.RecordsFromBaseline(e.U, base, e.U.Faults[lo:hi])
-				} else {
-					_, lanes, err = fault.Records(e.U, xs, e.U.Faults[lo:hi])
-				}
-				if err != nil {
-					simErrs[b] = err
+				genErr := resilient.Call(fpSimBatch, func() error {
+					if err := resilient.Fire(fpSimBatch); err != nil {
+						return err
+					}
+					var err error
+					if useDiff {
+						lanes, err = fault.RecordsFromBaseline(e.U, base, e.U.Faults[lo:hi])
+					} else {
+						_, lanes, err = fault.Records(e.U, xs, e.U.Faults[lo:hi])
+					}
+					return err
+				})
+				if genErr != nil {
+					var pe *resilient.PanicError
+					if e.Opts.Quarantine && errors.As(genErr, &pe) {
+						quarantineBatch(b, lo, hi)
+						continue
+					}
+					simErrs[b] = genErr
 					atomic.StoreInt32(&failed, 1)
+					cancel()
 					continue
 				}
 				genCounter.Add(int64(len(lanes)))
-				jobs <- job{batch: b, lo: lo, good: good, lanes: lanes}
+				// The bounded send must also watch the drain signal, or
+				// a full queue would park this worker forever once the
+				// detection pool stops consuming after an error.
+				select {
+				case jobs <- job{batch: b, lo: lo, good: good, lanes: lanes}:
+				case <-cctx.Done():
+					return nil
+				}
 			}
-		}()
+		}, onPool)
 	}
 	go func() {
 		simWG.Wait()
@@ -284,12 +478,10 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 	}
 	var detWG sync.WaitGroup
 	for w := 0; w < e.Opts.DetectWorkers; w++ {
-		detWG.Add(1)
-		go func() {
-			defer detWG.Done()
+		resilient.Go(&detWG, "campaign.detect_worker", func() error {
 			var sc *spectest.Scratch
 			process := func(j job) {
-				if detErrs[j.batch] != nil || atomic.LoadInt32(&failed) != 0 {
+				if atomic.LoadInt32(&failed) != 0 || cctx.Err() != nil {
 					return
 				}
 				if sc == nil {
@@ -297,49 +489,67 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 					if sc, err = e.Det.NewScratch(); err != nil {
 						detErrs[j.batch] = err
 						atomic.StoreInt32(&failed, 1)
+						cancel()
 						return
 					}
 				}
-				for i, rec := range j.lanes {
-					f := e.U.Faults[j.lo+i]
-					res := fault.Result{Fault: f, Tap: e.U.FIR.TapOfNet(f.Net)}
-					res.FirstDiff, res.MaxAbsDiff = fault.DiffStats(j.good, rec)
-					if !e.Opts.DisableScreen && res.MaxAbsDiff == 0 {
-						res.Detected = goodDetected
-						atomic.AddInt64(&screened, 1)
-						results[j.lo+i] = res
-						continue
+				var bScreened, bMemoized, bSpectra int64
+				detErr := resilient.Call(fpDetBatch, func() error {
+					if err := resilient.Fire(fpDetBatch); err != nil {
+						return err
 					}
-					var h uint64
-					if memo != nil {
-						h = hashRecord(rec)
-						if d, ok := memo.lookup(h, rec); ok {
-							res.Detected = d
-							atomic.AddInt64(&memoized, 1)
+					for i, rec := range j.lanes {
+						f := e.U.Faults[j.lo+i]
+						res := fault.Result{Fault: f, Tap: e.U.FIR.TapOfNet(f.Net)}
+						res.FirstDiff, res.MaxAbsDiff = fault.DiffStats(j.good, rec)
+						if !e.Opts.DisableScreen && res.MaxAbsDiff == 0 {
+							res.Detected = goodDetected
+							bScreened++
 							results[j.lo+i] = res
 							continue
 						}
+						var h uint64
+						if memo != nil {
+							h = hashRecord(rec)
+							if d, ok := memo.lookup(h, rec); ok {
+								res.Detected = d
+								bMemoized++
+								results[j.lo+i] = res
+								continue
+							}
+						}
+						var t0 time.Time
+						if verdictHist != nil {
+							t0 = time.Now()
+						}
+						det, err := e.Det.DetectRecord(rec, sc)
+						if verdictHist != nil {
+							verdictHist.Observe(time.Since(t0).Seconds())
+						}
+						if err != nil {
+							return err
+						}
+						if memo != nil {
+							memo.insert(h, rec, det)
+						}
+						res.Detected = det
+						bSpectra++
+						results[j.lo+i] = res
 					}
-					var t0 time.Time
-					if verdictHist != nil {
-						t0 = time.Now()
+					return nil
+				})
+				if detErr != nil {
+					var pe *resilient.PanicError
+					if e.Opts.Quarantine && errors.As(detErr, &pe) {
+						quarantineBatch(j.batch, j.lo, j.lo+len(j.lanes))
+						return
 					}
-					det, err := e.Det.DetectRecord(rec, sc)
-					if verdictHist != nil {
-						verdictHist.Observe(time.Since(t0).Seconds())
-					}
-					if err != nil {
-						detErrs[j.batch] = err
-						atomic.StoreInt32(&failed, 1)
-						break
-					}
-					if memo != nil {
-						memo.insert(h, rec, det)
-					}
-					res.Detected = det
-					atomic.AddInt64(&spectra, 1)
-					results[j.lo+i] = res
+					detErrs[j.batch] = detErr
+					atomic.StoreInt32(&failed, 1)
+					cancel()
+					return
 				}
+				commitBatch(j.batch, j.lo, j.lo+len(j.lanes), bScreened, bMemoized, bSpectra, 0)
 			}
 			for j := range jobs {
 				if reg != nil {
@@ -350,11 +560,15 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 					process(j)
 				}
 			}
-		}()
+			return nil
+		}, onPool)
 	}
 	detWG.Wait()
 	pipeSp.End()
 
+	if ckptErr != nil {
+		return nil, nil, ckptErr
+	}
 	for b := 0; b < nBatches; b++ {
 		if simErrs[b] != nil {
 			return nil, nil, simErrs[b]
@@ -363,14 +577,42 @@ func (e *Engine) Run(xs []int64) (*fault.Report, *Stats, error) {
 			return nil, nil, detErrs[b]
 		}
 	}
+	if poolErr != nil {
+		return nil, nil, fmt.Errorf("campaign: worker pool: %w", poolErr)
+	}
 	stats.Screened = int(screened)
 	stats.Memoized = int(memoized)
 	stats.Spectra += int(spectra)
+	stats.Quarantined = int(quarantined)
+	if err := resilient.CtxErr(ctx); err != nil {
+		// Interrupted: persist the ledger so a later resume continues
+		// from here, then hand back the partial report.
+		if e.Opts.Checkpoint.Enabled() {
+			ledgerMu.Lock()
+			saveErr := saveLedgerLocked()
+			ledgerMu.Unlock()
+			if saveErr != nil {
+				return nil, nil, saveErr
+			}
+		}
+		return &fault.Report{Results: results, Patterns: len(xs)}, stats, err
+	}
+	if e.Opts.Checkpoint.Enabled() {
+		ledgerMu.Lock()
+		err := saveLedgerLocked()
+		ledgerMu.Unlock()
+		if err != nil {
+			return nil, nil, err
+		}
+	}
 	if reg != nil {
 		reg.Counter("campaign_runs_total").Inc()
 		reg.Counter("campaign_faults_total").Add(int64(nf))
 		reg.Counter("campaign_batches_total").Add(int64(nBatches))
 		reg.Counter("campaign_screened_total").Add(screened)
+		if quarantined > 0 {
+			reg.Counter("campaign_quarantined_total").Add(quarantined)
+		}
 		reg.Counter("campaign_memo_hits_total").Add(memoized)
 		if memo != nil {
 			// A miss is a lane that paid its own transform while the

@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"reflect"
@@ -63,7 +64,7 @@ func TestEngineMatchesSerialSimulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, stats, err := eng.Run(xs)
+	rep, stats, err := eng.Run(context.Background(), xs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +103,11 @@ func TestEngineReusePathsChangeNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repP, statsP, err := plain.Run(xs)
+	repP, statsP, err := plain.Run(context.Background(), xs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	repT, statsT, err := tuned.Run(xs)
+	repT, statsT, err := tuned.Run(context.Background(), xs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,11 +133,11 @@ func TestEngineMatchesBatchSimulate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, _, err := eng.Run(xs)
+	rep, _, err := eng.Run(context.Background(), xs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch, err := fault.SimulateRecords(u, xs, det)
+	batch, err := fault.SimulateRecords(context.Background(), u, xs, det)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +159,11 @@ func TestZeroDiffScreenSkipsFFTsAndChangesNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repS, statsS, err := screened.Run(xs)
+	repS, statsS, err := screened.Run(context.Background(), xs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	repU, statsU, err := unscreened.Run(xs)
+	repU, statsU, err := unscreened.Run(context.Background(), xs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestZeroDiffScreenSkipsFFTsAndChangesNothing(t *testing.T) {
 	if !reflect.DeepEqual(repS, repU) {
 		t.Fatal("zero-diff screen changed the report")
 	}
-	batch, err := fault.SimulateRecords(u, xs, det)
+	batch, err := fault.SimulateRecords(context.Background(), u, xs, det)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,10 +196,10 @@ func TestEngineSurfacesDetectorErrors(t *testing.T) {
 	}
 	// A stimulus whose length disagrees with the detector's reference
 	// must abort the campaign, not report phantom non-detections.
-	if _, _, err := eng.Run(xs[:256]); err == nil {
+	if _, _, err := eng.Run(context.Background(), xs[:256]); err == nil {
 		t.Error("record/reference length mismatch did not abort the campaign")
 	}
-	if _, _, err := eng.Run(nil); err == nil {
+	if _, _, err := eng.Run(context.Background(), nil); err == nil {
 		t.Error("empty stimulus accepted")
 	}
 }
@@ -228,7 +229,7 @@ func TestEngineSingleWorkerPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repOne, _, err := one.Run(xs)
+	repOne, _, err := one.Run(context.Background(), xs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestEngineSingleWorkerPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	repDef, _, err := def.Run(xs)
+	repDef, _, err := def.Run(context.Background(), xs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -330,7 +331,20 @@ func (s *Synthesizer) BuildDigitalTest(opts DigitalTestOptions) (*DigitalTest, e
 // RunExact runs the campaign with the ideal-input, exact-compare
 // detector (the known-input digital test baseline).
 func (dt *DigitalTest) RunExact() (*fault.Report, error) {
-	return fault.Simulate(dt.Universe, dt.IdealCodes, fault.ExactDetector{})
+	return dt.RunExactCtx(context.Background())
+}
+
+// RunExactCtx is RunExact bounded by ctx: cancellation/deadline is
+// honored at batch granularity and surfaces as a typed
+// resilient.ErrCanceled/ErrDeadline with a partial report.
+func (dt *DigitalTest) RunExactCtx(ctx context.Context) (*fault.Report, error) {
+	return fault.Simulate(ctx, dt.Universe, dt.IdealCodes, fault.ExactDetector{})
+}
+
+// RunExactOpts is RunExact with the resilience knobs (checkpoint/
+// resume, quarantine) exposed.
+func (dt *DigitalTest) RunExactOpts(ctx context.Context, opts fault.SimOptions) (*fault.Report, error) {
+	return fault.SimulateOpts(ctx, dt.Universe, dt.IdealCodes, fault.ExactDetector{}, opts)
 }
 
 // RunSpectral runs the campaign with the calibrated spectral detector
@@ -346,11 +360,19 @@ func (dt *DigitalTest) RunSpectral() (*fault.Report, error) {
 // RunSpectralStats is RunSpectral, also returning the engine's
 // pipeline statistics (batches, screened lanes, spectra computed).
 func (dt *DigitalTest) RunSpectralStats() (*fault.Report, *campaign.Stats, error) {
-	eng, err := campaign.New(dt.Universe, dt.Detector, campaign.Options{})
+	return dt.RunSpectralOpts(context.Background(), campaign.Options{})
+}
+
+// RunSpectralOpts runs the spectral campaign on the pooled engine with
+// the caller's pipeline and resilience options (worker counts,
+// checkpoint/resume, quarantine) under ctx. The report is identical to
+// RunSpectral's for any option set that completes the run.
+func (dt *DigitalTest) RunSpectralOpts(ctx context.Context, opts campaign.Options) (*fault.Report, *campaign.Stats, error) {
+	eng, err := campaign.New(dt.Universe, dt.Detector, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return eng.Run(dt.RealisticCodes)
+	return eng.Run(ctx, dt.RealisticCodes)
 }
 
 // RunSpectralSeed runs the same spectral campaign through the unpooled
@@ -359,7 +381,7 @@ func (dt *DigitalTest) RunSpectralStats() (*fault.Report, *campaign.Stats, error
 // buffer per fault. It exists as the baseline for the campaign-engine
 // benchmark pair and for equivalence testing.
 func (dt *DigitalTest) RunSpectralSeed() (*fault.Report, error) {
-	return fault.SimulateRecords(dt.Universe, dt.RealisticCodes, dt.Detector)
+	return fault.SimulateRecords(context.Background(), dt.Universe, dt.RealisticCodes, dt.Detector)
 }
 
 func dspAlias(f, fs float64) float64 {

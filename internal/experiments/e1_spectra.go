@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -156,7 +157,7 @@ func mostActiveFault(fir *digital.FIR, u *fault.Universe, tap int, xs []int64) (
 		return netlist.Fault{}, false, nil
 	}
 	sub := &fault.Universe{FIR: fir, Faults: cands}
-	rep, err := fault.Simulate(sub, xs, fault.ExactDetector{})
+	rep, err := fault.Simulate(context.Background(), sub, xs, fault.ExactDetector{})
 	if err != nil {
 		return netlist.Fault{}, false, err
 	}

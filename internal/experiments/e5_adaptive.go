@@ -9,6 +9,7 @@ import (
 	"mstx/internal/mcengine"
 	"mstx/internal/obs"
 	"mstx/internal/params"
+	"mstx/internal/resilient"
 )
 
 // MethodAccuracy summarizes the IIP3 measurement error of one
@@ -39,6 +40,14 @@ type Fig4Options struct {
 	// The result is bit-identical for any value: each device is one
 	// engine lane with its own RNG substream.
 	Workers int
+	// Ctx, when non-nil, bounds the study: cancellation/deadline is
+	// honored at device-lane granularity and surfaces as a typed
+	// resilient.ErrCanceled/ErrDeadline.
+	Ctx context.Context
+	// Checkpoint, when enabled, snapshots the device population at
+	// engine round barriers (name "e5_devices") so a killed study
+	// resumes bit-identically.
+	Checkpoint *resilient.Checkpointer
 }
 
 // Fig4 reproduces Figure 4: the mixer IIP3 is measured on a
@@ -87,9 +96,16 @@ func Fig4(opts Fig4Options) (*Fig4Result, error) {
 	merge := func(total [][3]float64, _ int, part [][3]float64) [][3]float64 {
 		return append(total, part...)
 	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	_, devSp := obs.Span(context.Background(), "e5.devices")
-	all, _, err := mcengine.Run(opts.Devices, opts.Seed+400,
-		mcengine.Options{Workers: opts.Workers, BatchSize: 1}, nil, kernel, merge, nil)
+	all, _, err := mcengine.Run(ctx, opts.Devices, opts.Seed+400,
+		mcengine.Options{
+			Workers: opts.Workers, BatchSize: 1,
+			Checkpoint: opts.Checkpoint, CheckpointName: "e5_devices",
+		}, nil, kernel, merge, nil)
 	devSp.End()
 	if err != nil {
 		return nil, err

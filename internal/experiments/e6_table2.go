@@ -10,6 +10,7 @@ import (
 	"mstx/internal/obs"
 	"mstx/internal/params"
 	"mstx/internal/path"
+	"mstx/internal/resilient"
 	"mstx/internal/tolerance"
 )
 
@@ -59,6 +60,14 @@ type Table2Options struct {
 	// cross-check stops early. Default 0.005 (half a percentage
 	// point).
 	MCTargetHalfWidth float64
+	// Ctx, when non-nil, bounds the study: cancellation/deadline is
+	// honored at engine-lane granularity and surfaces as a typed
+	// resilient.ErrCanceled/ErrDeadline.
+	Ctx context.Context
+	// Checkpoint, when enabled, snapshots the device population (name
+	// "e6_devices") and each loss cross-check ("e6_loss_<param>") at
+	// engine round barriers so a killed study resumes bit-identically.
+	Checkpoint *resilient.Checkpointer
 }
 
 // Table2 runs the full Table 2 reproduction: for each of the three
@@ -154,8 +163,15 @@ func Table2(opts Table2Options) (*Table2Result, error) {
 	merge := func(total [][3]float64, _ int, part [][3]float64) [][3]float64 {
 		return append(total, part...)
 	}
-	all, _, err := mcengine.Run(opts.Devices, opts.Seed+600,
-		mcengine.Options{Workers: opts.Workers, BatchSize: 1}, nil, kernel, merge, nil)
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	all, _, err := mcengine.Run(ctx, opts.Devices, opts.Seed+600,
+		mcengine.Options{
+			Workers: opts.Workers, BatchSize: 1,
+			Checkpoint: opts.Checkpoint, CheckpointName: "e6_devices",
+		}, nil, kernel, merge, nil)
 	devSp.End()
 	if err != nil {
 		return nil, err
@@ -175,12 +191,14 @@ func Table2(opts Table2Options) (*Table2Result, error) {
 		// Cross-check the nominal-threshold losses with the sharded
 		// Monte Carlo: same P/error model as the closed form, stopping
 		// as soon as the 95% CI is inside the target half-width.
-		mc, err := tolerance.MonteCarloLosses(s.dist, tolerance.Normal{Sigma: sigma},
+		mc, err := tolerance.MonteCarloLosses(ctx, s.dist, tolerance.Normal{Sigma: sigma},
 			s.spec, s.spec, opts.MCSamples, opts.Seed+601+int64(j),
 			tolerance.MCOptions{
 				Workers:         opts.Workers,
 				CheckEvery:      2,
 				TargetHalfWidth: opts.MCTargetHalfWidth,
+				Checkpoint:      opts.Checkpoint,
+				CheckpointName:  "e6_loss_" + s.name,
 			})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s loss cross-check: %w", s.name, err)

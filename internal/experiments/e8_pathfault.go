@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 
+	"mstx/internal/campaign"
 	"mstx/internal/core"
 	"mstx/internal/dsp"
 	"mstx/internal/fault"
 	"mstx/internal/obs"
+	"mstx/internal/resilient"
 )
 
 // PathFaultRow is one campaign of the E8 study.
@@ -57,6 +59,14 @@ type PathFaultOptions struct {
 	LongPatterns int
 	// Seed drives the noisy capture.
 	Seed int64
+	// Ctx, when non-nil, bounds the study: cancellation/deadline is
+	// honored at campaign-batch granularity and surfaces as a typed
+	// resilient.ErrCanceled/ErrDeadline.
+	Ctx context.Context
+	// Checkpoint, when enabled, snapshots each campaign's batch ledger
+	// (names "e8_exact", "e8_short", "e8_long") so a killed study
+	// resumes with a bit-identical report.
+	Checkpoint *resilient.Checkpointer
 }
 
 // PathFaultSim runs the three campaigns.
@@ -79,6 +89,10 @@ func PathFaultSim(opts PathFaultOptions) (*PathFaultResult, error) {
 		return nil, err
 	}
 	res := &PathFaultResult{}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Observability: one child span per campaign of the study, so the
 	// trace shows where an E8 run spends its time (the long-record
 	// spectral campaign dominates).
@@ -99,7 +113,8 @@ func PathFaultSim(opts PathFaultOptions) (*PathFaultResult, error) {
 	}
 	res.UniverseSize = dtLong.Universe.Size()
 	_, exactSp := obs.Span(e8Ctx, "e8.exact")
-	exact, err := dtLong.RunExact()
+	exact, err := dtLong.RunExactOpts(ctx,
+		fault.SimOptions{Checkpoint: opts.Checkpoint, CheckpointName: "e8_exact"})
 	exactSp.End()
 	if err != nil {
 		return nil, err
@@ -115,7 +130,8 @@ func PathFaultSim(opts PathFaultOptions) (*PathFaultResult, error) {
 		return nil, err
 	}
 	_, shortSp := obs.Span(e8Ctx, "e8.spectral_short")
-	short, err := dtShort.RunSpectral()
+	short, _, err := dtShort.RunSpectralOpts(ctx,
+		campaign.Options{Checkpoint: opts.Checkpoint, CheckpointName: "e8_short"})
 	shortSp.End()
 	if err != nil {
 		return nil, err
@@ -129,7 +145,8 @@ func PathFaultSim(opts PathFaultOptions) (*PathFaultResult, error) {
 	// engine (its report is identical to the serial path; the stats
 	// show how much transform work the zero-diff screen removed).
 	_, longSp := obs.Span(e8Ctx, "e8.spectral_long")
-	long, stats, err := dtLong.RunSpectralStats()
+	long, stats, err := dtLong.RunSpectralOpts(ctx,
+		campaign.Options{Checkpoint: opts.Checkpoint, CheckpointName: "e8_long"})
 	longSp.End()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mstx/internal/resilient"
+)
+
+// deadlineExpiredCtx returns a context whose deadline has already
+// passed.
+func deadlineExpiredCtx() (context.Context, context.CancelFunc) {
+	return context.WithDeadline(context.Background(), time.Unix(0, 0))
+}
+
+// TestTable2KillAndResumeMatchesGolden is the end-to-end resilience
+// golden: the E6 study is killed mid-run by an injected engine-lane
+// crash, then resumed from its checkpoints — and the resumed run's
+// formatted table must match testdata/e6_table2.golden byte-for-byte.
+func TestTable2KillAndResumeMatchesGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "e6_table2.golden")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run TestTable2Golden with -update first)", err)
+	}
+	dir := t.TempDir()
+
+	// Phase 1: crash partway through the device population.
+	fp := resilient.NewFailpoints()
+	boom := errors.New("injected crash")
+	fp.Set("mcengine.lane", resilient.Action{Err: boom, After: 3})
+	resilient.Install(fp)
+	_, err = Table2(Table2Options{
+		Devices: 6, N: 1024, Seed: 0, Workers: 1,
+		Checkpoint: &resilient.Checkpointer{Dir: dir, Every: 1},
+	})
+	resilient.Install(nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("injected crash surfaced as %v", err)
+	}
+	if ents, err := os.ReadDir(dir); err != nil || len(ents) == 0 {
+		t.Fatalf("no checkpoint written before the crash (entries %v, err %v)", ents, err)
+	}
+
+	// Phase 2: resume. The checkpointed lanes are restored, the rest
+	// run fresh, and the final table must be bit-identical.
+	res, err := Table2(Table2Options{
+		Devices: 6, N: 1024, Seed: 0,
+		Checkpoint: &resilient.Checkpointer{Dir: dir, Every: 1, Resume: true},
+	})
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if got := res.Format(); got != string(want) {
+		t.Errorf("resumed Table 2 drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFig4CancelSurfacesTyped covers the experiments-level ctx
+// plumbing: an expired deadline aborts E5 with the typed taxonomy.
+func TestFig4CancelSurfacesTyped(t *testing.T) {
+	ctx, cancel := deadlineExpiredCtx()
+	defer cancel()
+	if _, err := Fig4(Fig4Options{Devices: 4, N: 512, Ctx: ctx}); !errors.Is(err, resilient.ErrDeadline) {
+		t.Fatalf("expired deadline returned %v, want ErrDeadline", err)
+	}
+}

@@ -7,6 +7,7 @@ package fault
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -15,7 +16,12 @@ import (
 	"mstx/internal/digital"
 	"mstx/internal/netlist"
 	"mstx/internal/obs"
+	"mstx/internal/resilient"
 )
+
+// fpBatch is the failpoint evaluated before every simulation batch;
+// the chaos suite arms it to inject batch errors, panics and delays.
+var fpBatch = resilient.Site("fault.batch")
 
 // Universe holds a fault list for a FIR circuit together with the
 // bookkeeping needed for reports.
@@ -56,6 +62,11 @@ type Result struct {
 	// Tap is the index of the tap whose cone contains the fault site,
 	// or -1 for the shared sum tree.
 	Tap int
+	// Quarantined marks a fault whose simulation batch panicked while
+	// quarantine was enabled: the panic was recovered, the batch was
+	// excluded, and the campaign continued. A quarantined fault is
+	// never counted as detected — its verdict is unknown, not clean.
+	Quarantined bool
 }
 
 // Report aggregates a fault-simulation campaign.
@@ -71,6 +82,18 @@ func (r *Report) Detected() int {
 	n := 0
 	for _, res := range r.Results {
 		if res.Detected {
+			n++
+		}
+	}
+	return n
+}
+
+// Quarantined returns the number of quarantined faults — batches whose
+// worker panicked and was isolated rather than crashing the campaign.
+func (r *Report) Quarantined() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Quarantined {
 			n++
 		}
 	}
@@ -178,7 +201,16 @@ func DiffStats(good, faulty []int64) (firstDiff int, maxAbs int64) {
 // semaphore, and whose error channel surfaced whichever failing batch
 // lost the race — the pool never holds more than `workers` goroutines
 // alive and its error choice is deterministic.
-func runBatches(nBatches, workers int, fn func(batch int) error) error {
+//
+// The pool fast-fails: after the first error no further batches start
+// (in-flight batches finish), so an erroring campaign settles its
+// goroutines promptly instead of grinding through the remaining work.
+// Cancellation is honored at batch granularity — when ctx is
+// interrupted workers stop claiming and the typed
+// resilient.ErrCanceled/ErrDeadline is returned (batch errors win).
+// Worker goroutines run under resilient.Go, so a panic escaping fn's
+// own guards degrades to a returned error, never a process crash.
+func runBatches(ctx context.Context, nBatches, workers int, fn func(batch int) error) error {
 	if nBatches <= 0 {
 		return nil
 	}
@@ -190,19 +222,35 @@ func runBatches(nBatches, workers int, fn func(batch int) error) error {
 	}
 	errs := make([]error, nBatches)
 	next := int64(-1)
-	var wg sync.WaitGroup
+	var (
+		failed   int32
+		wg       sync.WaitGroup
+		poolOnce sync.Once
+		poolErr  error
+	)
+	onPool := func(err error) {
+		poolOnce.Do(func() { poolErr = err })
+		atomic.StoreInt32(&failed, 1)
+	}
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
+		resilient.Go(&wg, "fault.worker", func() error {
 			for {
 				b := int(atomic.AddInt64(&next, 1))
 				if b >= nBatches {
-					return
+					return nil
 				}
-				errs[b] = fn(b)
+				if atomic.LoadInt32(&failed) != 0 {
+					continue
+				}
+				if ctx.Err() != nil {
+					return nil
+				}
+				if err := fn(b); err != nil {
+					errs[b] = err
+					atomic.StoreInt32(&failed, 1)
+				}
 			}
-		}()
+		}, onPool)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -210,7 +258,56 @@ func runBatches(nBatches, workers int, fn func(batch int) error) error {
 			return err
 		}
 	}
-	return nil
+	if poolErr != nil {
+		return fmt.Errorf("fault: worker pool: %w", poolErr)
+	}
+	return resilient.CtxErr(ctx)
+}
+
+// SimOptions configures a resilient Simulate run. The zero value is
+// the plain campaign: no checkpointing, no quarantine, GOMAXPROCS
+// workers.
+type SimOptions struct {
+	// Workers bounds the batch pool. Defaults to GOMAXPROCS.
+	Workers int
+	// Checkpoint, when enabled, snapshots the batch ledger (which
+	// batches completed and their results) every Checkpoint.Every
+	// completions, so a killed campaign resumes instead of restarting.
+	Checkpoint *resilient.Checkpointer
+	// CheckpointName names this campaign's snapshot inside
+	// Checkpoint.Dir. Default "fault".
+	CheckpointName string
+	// Quarantine recovers a panicking simulation batch, marks its
+	// faults Quarantined in the Report, and continues the campaign.
+	// Without it the recovered panic aborts the run as an ordinary
+	// error — the process never crashes either way.
+	Quarantine bool
+}
+
+// simCkptVersion guards the simCkpt layout.
+const simCkptVersion = 1
+
+// simCkpt is the batch-ledger snapshot of a Simulate run: which
+// batches completed and every completed batch's results, plus the
+// campaign identity (fault count, record length, stimulus hash) the
+// ledger is only valid for.
+type simCkpt struct {
+	NF       int
+	Patterns int
+	StimHash uint64
+	Done     []bool
+	Results  []Result
+}
+
+// recordHash is FNV-1a over the record words — the cheap identity
+// check that guards checkpoint resume against a different stimulus.
+func recordHash(xs []int64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range xs {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // Simulate runs every fault in the universe against the input record
@@ -220,17 +317,113 @@ func runBatches(nBatches, workers int, fn func(batch int) error) error {
 // Faults are packed 63 per simulator pass (lane 0 is the good
 // machine); batches run concurrently on all CPUs. The good and faulty
 // records are exact gate-level outputs.
-func Simulate(u *Universe, xs []int64, det Detector) (*Report, error) {
+//
+// Cancellation and deadlines on ctx are honored at batch granularity:
+// an interrupted run returns the partial Report (completed batches
+// carry their verdicts; the rest keep the fault identity with
+// FirstDiff -1 and no verdict) together with a typed error satisfying
+// errors.Is(err, resilient.ErrCanceled) or resilient.ErrDeadline.
+func Simulate(ctx context.Context, u *Universe, xs []int64, det Detector) (*Report, error) {
+	return SimulateOpts(ctx, u, xs, det, SimOptions{})
+}
+
+// SimulateOpts is Simulate with the resilience knobs exposed:
+// checkpoint/resume over the batch ledger and panic quarantine. The
+// Report is bit-identical to Simulate's for any worker count and any
+// kill/resume split — batch b's results depend only on (universe, xs,
+// b), never on scheduling.
+func SimulateOpts(ctx context.Context, u *Universe, xs []int64, det Detector, opts SimOptions) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(xs) == 0 {
 		return nil, fmt.Errorf("fault: empty input record")
 	}
 	if det == nil {
 		return nil, fmt.Errorf("fault: nil detector")
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	nf := len(u.Faults)
 	results := make([]Result, nf)
+	// Prefill the fault identity so partial (canceled) and quarantined
+	// entries still say WHICH fault they cover.
+	for i, f := range u.Faults {
+		results[i] = Result{Fault: f, Tap: u.FIR.TapOfNet(f.Net), FirstDiff: -1}
+	}
 	const lanesPerBatch = 63
 	nBatches := (nf + lanesPerBatch - 1) / lanesPerBatch
+	batchBounds := func(b int) (int, int) {
+		lo := b * lanesPerBatch
+		hi := lo + lanesPerBatch
+		if hi > nf {
+			hi = nf
+		}
+		return lo, hi
+	}
+
+	// Checkpoint ledger: results of completed batches are copied into
+	// a mutex-guarded shadow slice at completion, so a snapshot never
+	// reads lanes another worker is still writing.
+	ckName := opts.CheckpointName
+	if ckName == "" {
+		ckName = "fault"
+	}
+	stimHash := recordHash(xs)
+	var (
+		ledgerMu   sync.Mutex
+		done       []bool
+		ledger     []Result
+		sinceSave  int
+		doneAtLoad []bool
+	)
+	if opts.Checkpoint.Enabled() {
+		done = make([]bool, nBatches)
+		ledger = make([]Result, nf)
+		copy(ledger, results)
+		var st simCkpt
+		loaded, err := opts.Checkpoint.Load(ckName, simCkptVersion, &st)
+		if err != nil {
+			return nil, err
+		}
+		if loaded {
+			if st.NF != nf || st.Patterns != len(xs) || st.StimHash != stimHash {
+				return nil, fmt.Errorf(
+					"fault: checkpoint %q is from a different campaign (nf=%d patterns=%d, want nf=%d patterns=%d)",
+					ckName, st.NF, st.Patterns, nf, len(xs))
+			}
+			copy(results, st.Results)
+			copy(ledger, st.Results)
+			copy(done, st.Done)
+			doneAtLoad = append([]bool(nil), st.Done...)
+		}
+	}
+	saveLedgerLocked := func() error {
+		return opts.Checkpoint.Save(ckName, simCkptVersion, simCkpt{
+			NF: nf, Patterns: len(xs), StimHash: stimHash,
+			Done:    append([]bool(nil), done...),
+			Results: append([]Result(nil), ledger...),
+		})
+	}
+	completeBatch := func(b int) error {
+		if !opts.Checkpoint.Enabled() {
+			return nil
+		}
+		lo, hi := batchBounds(b)
+		ledgerMu.Lock()
+		defer ledgerMu.Unlock()
+		copy(ledger[lo:hi], results[lo:hi])
+		done[b] = true
+		sinceSave++
+		if sinceSave >= opts.Checkpoint.Interval() {
+			sinceSave = 0
+			return saveLedgerLocked()
+		}
+		return nil
+	}
+
 	// Observability: one span and three counter bumps per campaign —
 	// all no-ops when no registry is installed.
 	reg := obs.Default()
@@ -239,23 +432,67 @@ func Simulate(u *Universe, xs []int64, det Detector) (*Report, error) {
 		_, sp = reg.Span(context.Background(), "fault.simulate")
 		defer sp.End()
 	}
-	err := runBatches(nBatches, runtime.GOMAXPROCS(0), func(batch int) error {
-		lo := batch * lanesPerBatch
-		hi := lo + lanesPerBatch
-		if hi > nf {
-			hi = nf
+	var quarantined int64
+	err := runBatches(ctx, nBatches, workers, func(batch int) error {
+		if doneAtLoad != nil && doneAtLoad[batch] {
+			return nil // restored from the checkpoint ledger
 		}
-		return simulateBatch(u, xs, det, results[lo:hi], u.Faults[lo:hi])
+		lo, hi := batchBounds(batch)
+		err := resilient.Call(fpBatch, func() error {
+			if err := resilient.Fire(fpBatch); err != nil {
+				return err
+			}
+			return simulateBatch(u, xs, det, results[lo:hi], u.Faults[lo:hi])
+		})
+		if err != nil {
+			var pe *resilient.PanicError
+			if !opts.Quarantine || !errors.As(err, &pe) {
+				return err
+			}
+			// Quarantine: reset the batch's lanes to the bare fault
+			// identity (the panic may have left them half-written) and
+			// mark them; the campaign continues.
+			for i := lo; i < hi; i++ {
+				f := u.Faults[i]
+				results[i] = Result{Fault: f, Tap: u.FIR.TapOfNet(f.Net), FirstDiff: -1, Quarantined: true}
+			}
+			atomic.AddInt64(&quarantined, int64(hi-lo))
+		}
+		return completeBatch(batch)
 	})
+	rep := &Report{Results: results, Patterns: len(xs)}
 	if err != nil {
+		if resilient.Interrupted(err) {
+			// Persist the ledger so a later -resume continues from here.
+			if opts.Checkpoint.Enabled() {
+				ledgerMu.Lock()
+				saveErr := saveLedgerLocked()
+				ledgerMu.Unlock()
+				if saveErr != nil {
+					return rep, saveErr
+				}
+			}
+			return rep, err
+		}
 		return nil, err
+	}
+	if opts.Checkpoint.Enabled() {
+		ledgerMu.Lock()
+		err = saveLedgerLocked()
+		ledgerMu.Unlock()
+		if err != nil {
+			return rep, err
+		}
 	}
 	if reg != nil {
 		reg.Counter("fault_sim_runs_total").Inc()
 		reg.Counter("fault_sim_faults_total").Add(int64(nf))
 		reg.Counter("fault_sim_batches_total").Add(int64(nBatches))
+		if q := atomic.LoadInt64(&quarantined); q > 0 {
+			reg.Counter("fault_sim_quarantined_total").Add(q)
+		}
 	}
-	return &Report{Results: results, Patterns: len(xs)}, nil
+	return rep, nil
 }
 
 // simulateBatch simulates up to 63 faults in one pass and fills out.
@@ -340,8 +577,8 @@ type RecordDetector = Detector
 // SimulateRecords is Simulate, but guarantees the detector sees exact
 // full-length records (it always does; this entry point exists so
 // spectral detection campaigns read naturally at call sites).
-func SimulateRecords(u *Universe, xs []int64, det RecordDetector) (*Report, error) {
-	return Simulate(u, xs, det)
+func SimulateRecords(ctx context.Context, u *Universe, xs []int64, det RecordDetector) (*Report, error) {
+	return Simulate(ctx, u, xs, det)
 }
 
 // SerialSimulate runs faults one at a time (one fault in all lanes per
@@ -432,7 +669,7 @@ func detectOnlyOnePass(u *Universe, xs, warmSrc []int64) ([]bool, error) {
 	detected := make([]bool, nf)
 	const lanesPerBatch = 63
 	nBatches := (nf + lanesPerBatch - 1) / lanesPerBatch
-	err := runBatches(nBatches, runtime.GOMAXPROCS(0), func(batch int) error {
+	err := runBatches(context.Background(), nBatches, runtime.GOMAXPROCS(0), func(batch int) error {
 		lo := batch * lanesPerBatch
 		hi := lo + lanesPerBatch
 		if hi > nf {

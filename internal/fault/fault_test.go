@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -49,7 +50,7 @@ func TestSimulateDetectsInjectedFaults(t *testing.T) {
 	fir := smallFIR(t)
 	u := NewUniverse(fir, true)
 	xs := sineRecord(64, 28, 5)
-	rep, err := Simulate(u, xs, ExactDetector{})
+	rep, err := Simulate(context.Background(), u, xs, ExactDetector{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestSerialMatchesParallel(t *testing.T) {
 	fir := smallFIR(t)
 	u := NewUniverse(fir, true)
 	xs := sineRecord(48, 25, 3)
-	par, err := Simulate(u, xs, ExactDetector{})
+	par, err := Simulate(context.Background(), u, xs, ExactDetector{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestSimulateSurfacesDetectorErrors(t *testing.T) {
 	fir := smallFIR(t)
 	u := NewUniverse(fir, true)
 	xs := sineRecord(64, 20, 3)
-	if _, err := Simulate(u, xs, errDetector{}); err == nil || !strings.Contains(err.Error(), "detector exploded") {
+	if _, err := Simulate(context.Background(), u, xs, errDetector{}); err == nil || !strings.Contains(err.Error(), "detector exploded") {
 		t.Errorf("Simulate swallowed the detector error: %v", err)
 	}
 	if _, err := SerialSimulate(u, xs, errDetector{}); err == nil || !strings.Contains(err.Error(), "detector exploded") {
@@ -151,7 +152,7 @@ func TestRunBatchesFirstErrorByBatchOrder(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		var live int32
 		var peak int32
-		err := runBatches(16, 4, func(b int) error {
+		err := runBatches(context.Background(), 16, 4, func(b int) error {
 			n := atomic.AddInt32(&live, 1)
 			for {
 				p := atomic.LoadInt32(&peak)
@@ -178,12 +179,12 @@ func TestRunBatchesFirstErrorByBatchOrder(t *testing.T) {
 			t.Fatalf("trial %d: %d batch goroutines live at once; pool must be bounded at 4", trial, p)
 		}
 	}
-	if err := runBatches(0, 4, func(int) error { return errors.New("never") }); err != nil {
+	if err := runBatches(context.Background(), 0, 4, func(int) error { return errors.New("never") }); err != nil {
 		t.Errorf("zero batches returned %v", err)
 	}
 	// More workers than batches must not deadlock or skip work.
 	var ran int32
-	if err := runBatches(3, 64, func(int) error { atomic.AddInt32(&ran, 1); return nil }); err != nil {
+	if err := runBatches(context.Background(), 3, 64, func(int) error { atomic.AddInt32(&ran, 1); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if ran != 3 {
@@ -194,10 +195,10 @@ func TestRunBatchesFirstErrorByBatchOrder(t *testing.T) {
 func TestSimulateValidation(t *testing.T) {
 	fir := smallFIR(t)
 	u := NewUniverse(fir, true)
-	if _, err := Simulate(u, nil, ExactDetector{}); err == nil {
+	if _, err := Simulate(context.Background(), u, nil, ExactDetector{}); err == nil {
 		t.Error("empty record accepted")
 	}
-	if _, err := Simulate(u, []int64{1}, nil); err == nil {
+	if _, err := Simulate(context.Background(), u, []int64{1}, nil); err == nil {
 		t.Error("nil detector accepted")
 	}
 	if _, err := SerialSimulate(u, nil, ExactDetector{}); err == nil {
@@ -245,7 +246,7 @@ func TestTapAttribution(t *testing.T) {
 	fir := smallFIR(t)
 	u := NewUniverse(fir, false)
 	xs := sineRecord(32, 25, 3)
-	rep, err := Simulate(u, xs, ExactDetector{})
+	rep, err := Simulate(context.Background(), u, xs, ExactDetector{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,11 +296,11 @@ func TestTwoToneBeatsSingleToneCoverage(t *testing.T) {
 		one[i] = int64(math.Round(100 * math.Sin(7*ph)))
 		two[i] = int64(math.Round(50*math.Sin(7*ph) + 50*math.Sin(11*ph)))
 	}
-	rep1, err := Simulate(u, one, ExactDetector{})
+	rep1, err := Simulate(context.Background(), u, one, ExactDetector{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep2, err := Simulate(u, two, ExactDetector{})
+	rep2, err := Simulate(context.Background(), u, two, ExactDetector{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestUndetectedResults(t *testing.T) {
 	// All-zero input: nothing toggles, SA0 faults everywhere are
 	// undetectable, so there must be a healthy undetected set.
 	xs := make([]int64, 16)
-	rep, err := Simulate(u, xs, ExactDetector{})
+	rep, err := Simulate(context.Background(), u, xs, ExactDetector{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func BenchmarkSimulateParallel(b *testing.B) {
 	xs := sineRecord(128, 100, 7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Simulate(u, xs, ExactDetector{}); err != nil {
+		if _, err := Simulate(context.Background(), u, xs, ExactDetector{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -367,7 +368,7 @@ func TestDetectOnlyMatchesSimulate(t *testing.T) {
 	}
 	u := NewUniverse(fir, true)
 	xs := sineRecord(96, 100, 7)
-	rep, err := Simulate(u, xs, ExactDetector{})
+	rep, err := Simulate(context.Background(), u, xs, ExactDetector{})
 	if err != nil {
 		t.Fatal(err)
 	}

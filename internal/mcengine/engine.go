@@ -17,10 +17,19 @@
 // on the merged prefix of lanes. The stopping decision therefore
 // depends only on (seed, BatchSize, CheckEvery) — not on workers or
 // timing — so an early-stopped run is reproducible too.
+//
+// The engine is resilience-aware (internal/resilient): cancellation
+// and deadlines are honored at lane granularity and surface as typed
+// resilient.ErrCanceled/ErrDeadline with the merged prefix returned as
+// a partial result; a panicking kernel is recovered and either
+// quarantined (Options.OnQuarantine) or returned as an error, never
+// allowed to crash the process; and round-barrier checkpoints
+// (Options.Checkpoint) let a killed run resume bit-identically.
 package mcengine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -29,7 +38,12 @@ import (
 	"time"
 
 	"mstx/internal/obs"
+	"mstx/internal/resilient"
 )
+
+// fpLane is the failpoint evaluated before every lane's kernel call;
+// tests arm it to inject lane errors, panics and delays.
+var fpLane = resilient.Site("mcengine.lane")
 
 // DefaultBatchSize is the per-lane sample count when Options.BatchSize
 // is zero: large enough that RNG setup and scheduling are noise,
@@ -50,6 +64,22 @@ type Options struct {
 	// Zero (or a nil stop predicate) disables early stopping and runs
 	// all lanes in a single round.
 	CheckEvery int
+	// Checkpoint, when enabled, snapshots the merged prefix (total,
+	// sample count, next lane) at round barriers — every
+	// Checkpoint.Every rounds and at completion — and, with Resume set,
+	// restores it at the next Run so a killed run continues from the
+	// last barrier and produces a bit-identical final result.
+	Checkpoint *resilient.Checkpointer
+	// CheckpointName names this run's snapshot inside Checkpoint.Dir
+	// (several engine runs can share one directory). Default "mc".
+	CheckpointName string
+	// OnQuarantine, when non-nil, turns a panicking kernel lane into a
+	// quarantined lane: the panic is recovered, OnQuarantine receives
+	// the lane, its sample count and the *resilient.PanicError, the
+	// lane contributes nothing to the merge, and the run continues.
+	// When nil, the recovered panic is returned as an ordinary run
+	// error — the process never crashes either way.
+	OnQuarantine func(lane, samples int, err error)
 }
 
 func (o Options) withDefaults() Options {
@@ -96,11 +126,42 @@ type Merge[T, P any] func(total T, lane int, part P) T
 // the number of samples it covers; returning true ends the run early.
 type Stop[T any] func(total T, samples int) bool
 
+// ckptVersion guards the ckptState layout; bump it when the state
+// shape changes so stale snapshots are rejected on load.
+const ckptVersion = 1
+
+// ckptState is the round-barrier snapshot of a Run: the merged prefix
+// plus the run parameters it is only valid for. Resuming replays the
+// loop from NextLane with Total/Done restored, so the remaining merges
+// happen in the same lane order with the same floating-point state —
+// the final result is bit-identical to an uninterrupted run.
+type ckptState[T any] struct {
+	N          int
+	Seed       int64
+	BatchSize  int
+	CheckEvery int
+	NextLane   int
+	Done       int
+	Total      T
+	Stopped    bool
+}
+
 // Run executes an n-sample Monte-Carlo estimation and returns the
 // merged total together with the number of samples actually processed
 // (less than n only when the stop predicate fired). The zero total is
 // the caller's initial accumulator value.
-func Run[T, P any](n int, seed int64, opts Options, total T, kernel Kernel[P], merge Merge[T, P], stop Stop[T]) (T, int, error) {
+//
+// Cancellation is honored at lane granularity: when ctx is canceled
+// (or its deadline expires) the engine stops claiming lanes, folds the
+// contiguous completed prefix of the in-flight round, and returns the
+// partial total and sample count together with a typed error
+// satisfying errors.Is(err, resilient.ErrCanceled) or
+// resilient.ErrDeadline. Kernel errors keep the original contract: a
+// zero total and the first failing lane's error, in lane order.
+func Run[T, P any](ctx context.Context, n int, seed int64, opts Options, total T, kernel Kernel[P], merge Merge[T, P], stop Stop[T]) (T, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
 		return total, 0, fmt.Errorf("mcengine: sample count %d must be positive", n)
 	}
@@ -113,6 +174,16 @@ func Run[T, P any](n int, seed int64, opts Options, total T, kernel Kernel[P], m
 	if round <= 0 || stop == nil {
 		round = lanes
 	}
+	if o.Checkpoint.Enabled() && round >= lanes && lanes > 1 {
+		// Round barriers are also the checkpoint grain: a run without
+		// early-stop rounds would otherwise never snapshot before
+		// completion. One worker-stripe per round keeps the barriers
+		// cheap; the round size cannot change any merged value (merges
+		// stay in lane order regardless).
+		if round = o.Workers; round < 1 {
+			round = 1
+		}
+	}
 	laneCount := func(l int) int {
 		if l == lanes-1 {
 			return n - l*o.BatchSize
@@ -121,6 +192,38 @@ func Run[T, P any](n int, seed int64, opts Options, total T, kernel Kernel[P], m
 	}
 
 	done := 0
+
+	// Checkpoint/resume: the snapshot is only valid for the exact run
+	// parameters that shaped the lane decomposition and the barriers.
+	ckName := o.CheckpointName
+	if ckName == "" {
+		ckName = "mc"
+	}
+	startLane := 0
+	saveState := func(nextLane int, stopped bool) error {
+		return o.Checkpoint.Save(ckName, ckptVersion, ckptState[T]{
+			N: n, Seed: seed, BatchSize: o.BatchSize, CheckEvery: o.CheckEvery,
+			NextLane: nextLane, Done: done, Total: total, Stopped: stopped,
+		})
+	}
+	if o.Checkpoint.Enabled() {
+		var st ckptState[T]
+		loaded, err := o.Checkpoint.Load(ckName, ckptVersion, &st)
+		if err != nil {
+			return total, 0, err
+		}
+		if loaded {
+			if st.N != n || st.Seed != seed || st.BatchSize != o.BatchSize || st.CheckEvery != o.CheckEvery {
+				return total, 0, fmt.Errorf(
+					"mcengine: checkpoint %q is from a different run (n=%d seed=%d batch=%d check=%d, want n=%d seed=%d batch=%d check=%d)",
+					ckName, st.N, st.Seed, st.BatchSize, st.CheckEvery, n, seed, o.BatchSize, o.CheckEvery)
+			}
+			total, done, startLane = st.Total, st.Done, st.NextLane
+			if st.Stopped || startLane >= lanes {
+				return total, done, nil
+			}
+		}
+	}
 
 	// Observability: handles resolved once per run, all nil (and every
 	// use a no-op) when no registry is installed. Instrumentation is
@@ -155,44 +258,77 @@ func Run[T, P any](n int, seed int64, opts Options, total T, kernel Kernel[P], m
 		}()
 	}
 
-	for lo := 0; lo < lanes; lo += round {
+	for lo := startLane; lo < lanes; lo += round {
 		hi := lo + round
 		if hi > lanes {
 			hi = lanes
 		}
 		parts := make([]P, hi-lo)
 		errs := make([]error, hi-lo)
+		completed := make([]bool, hi-lo)
+		quar := make([]bool, hi-lo)
 		workers := o.Workers
 		if workers > hi-lo {
 			workers = hi - lo
 		}
 		var (
-			next   = int64(lo) - 1
-			failed int32
-			wg     sync.WaitGroup
+			next     = int64(lo) - 1
+			failed   int32
+			wg       sync.WaitGroup
+			poolOnce sync.Once
+			poolErr  error
 		)
+		// A panic escaping the per-lane guard (pool bookkeeping itself)
+		// still degrades to a run error instead of crashing the process.
+		onPool := func(err error) {
+			poolOnce.Do(func() { poolErr = err })
+			atomic.StoreInt32(&failed, 1)
+		}
 		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
+			resilient.Go(&wg, "mcengine.worker", func() error {
 				for {
 					l := int(atomic.AddInt64(&next, 1))
 					if l >= hi {
-						return
+						return nil
 					}
 					if atomic.LoadInt32(&failed) != 0 {
 						continue
 					}
-					rng := rand.New(rand.NewSource(SubstreamSeed(seed, l)))
-					p, err := kernel(l, laneCount(l), rng)
+					if ctx.Err() != nil {
+						// Stop claiming; lanes already claimed by other
+						// workers finish, and the barrier merges the
+						// contiguous completed prefix below.
+						return nil
+					}
+					err := resilient.Call(fpLane, func() error {
+						if err := resilient.Fire(fpLane); err != nil {
+							return err
+						}
+						rng := rand.New(rand.NewSource(SubstreamSeed(seed, l)))
+						p, err := kernel(l, laneCount(l), rng)
+						if err != nil {
+							return err
+						}
+						parts[l-lo] = p
+						completed[l-lo] = true
+						return nil
+					})
 					if err != nil {
+						var pe *resilient.PanicError
+						if errors.As(err, &pe) && o.OnQuarantine != nil {
+							// Quarantine: the lane contributes nothing
+							// and the run continues. OnQuarantine runs on
+							// the worker goroutine, possibly concurrently
+							// with other lanes' callbacks.
+							quar[l-lo] = true
+							o.OnQuarantine(l, laneCount(l), err)
+							continue
+						}
 						errs[l-lo] = err
 						atomic.StoreInt32(&failed, 1)
-						continue
 					}
-					parts[l-lo] = p
 				}
-			}()
+			}, onPool)
 		}
 		var barrierStart time.Time
 		if reg != nil {
@@ -208,24 +344,63 @@ func Run[T, P any](n int, seed int64, opts Options, total T, kernel Kernel[P], m
 				return zero, done, fmt.Errorf("mcengine: lane %d: %w", lo+i, e)
 			}
 		}
+		if poolErr != nil {
+			var zero T
+			return zero, done, fmt.Errorf("mcengine: worker pool: %w", poolErr)
+		}
+		// When the context was interrupted mid-round, merge only the
+		// contiguous completed prefix of this round's lanes: lane-order
+		// folding keeps even a partial total deterministic for the
+		// samples it covers.
+		canceled := ctx.Err() != nil
 		var mergeStart time.Time
 		if reg != nil {
 			mergeStart = time.Now()
 		}
+		merged, prefix := 0, 0
 		for i := range parts {
+			if !completed[i] && !quar[i] {
+				break
+			}
+			prefix++
+			if quar[i] {
+				continue
+			}
 			l := lo + i
 			total = merge(total, l, parts[i])
 			done += laneCount(l)
+			merged++
 		}
 		if reg != nil {
 			mergeHist.Observe(time.Since(mergeStart).Seconds())
-			reg.Counter("mc_lanes_total").Add(int64(hi - lo))
+			reg.Counter("mc_lanes_total").Add(int64(merged))
+		}
+		if canceled {
+			// Persist the merged prefix so a later resume continues
+			// from the interruption point instead of lane zero.
+			if o.Checkpoint.Enabled() {
+				if err := saveState(lo+prefix, false); err != nil {
+					return total, done, err
+				}
+			}
+			return total, done, resilient.CtxErr(ctx)
 		}
 		rounds++
 		if hi < lanes && stop != nil && stop(total, done) {
 			stopped = true
+			if err := saveState(hi, true); err != nil {
+				return total, done, err
+			}
 			return total, done, nil
 		}
+		if o.Checkpoint.Enabled() && hi < lanes && rounds%o.Checkpoint.Interval() == 0 {
+			if err := saveState(hi, false); err != nil {
+				return total, done, err
+			}
+		}
+	}
+	if err := saveState(lanes, false); err != nil {
+		return total, done, err
 	}
 	return total, done, nil
 }

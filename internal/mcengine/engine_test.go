@@ -1,10 +1,16 @@
 package mcengine
 
 import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"mstx/internal/resilient"
 	"testing"
 )
 
@@ -66,7 +72,7 @@ func TestRunBitIdenticalAcrossWorkerCounts(t *testing.T) {
 	for _, workers := range []int{1, 2, 4, 16} {
 		o := opts
 		o.Workers = workers
-		got, done, err := Run(n, 7, o, MeanVar{}, sumKernel, mergeMV, nil)
+		got, done, err := Run(context.Background(), n, 7, o, MeanVar{}, sumKernel, mergeMV, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +101,7 @@ func TestRunEarlyStopDeterministic(t *testing.T) {
 	for _, workers := range []int{1, 4, 16} {
 		o := opts
 		o.Workers = workers
-		got, done, err := Run(n, 11, o, MeanVar{}, sumKernel, mergeMV, stop)
+		got, done, err := Run(context.Background(), n, 11, o, MeanVar{}, sumKernel, mergeMV, stop)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +122,7 @@ func TestRunPartialLastLane(t *testing.T) {
 		counts[lane] = part
 		return total + part
 	}
-	total, done, err := Run(n, 3, Options{BatchSize: 512, Workers: 1}, 0, kernel, merge, nil)
+	total, done, err := Run(context.Background(), n, 3, Options{BatchSize: 512, Workers: 1}, 0, kernel, merge, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +143,7 @@ func TestRunKernelErrorSurfaces(t *testing.T) {
 		return count, nil
 	}
 	merge := func(total, lane, part int) int { return total + part }
-	_, _, err := Run(100000, 1, Options{BatchSize: 1024, Workers: 4}, 0, kernel, merge, nil)
+	_, _, err := Run(context.Background(), 100000, 1, Options{BatchSize: 1024, Workers: 4}, 0, kernel, merge, nil)
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("err = %v, want wrapped sentinel", err)
 	}
@@ -145,10 +151,10 @@ func TestRunKernelErrorSurfaces(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	merge := func(total, lane, part int) int { return total }
-	if _, _, err := Run(0, 1, Options{}, 0, func(_, _ int, _ *rand.Rand) (int, error) { return 0, nil }, merge, nil); err == nil {
+	if _, _, err := Run(context.Background(), 0, 1, Options{}, 0, func(_, _ int, _ *rand.Rand) (int, error) { return 0, nil }, merge, nil); err == nil {
 		t.Error("n=0 accepted")
 	}
-	if _, _, err := Run[int, int](10, 1, Options{}, 0, nil, merge, nil); err == nil {
+	if _, _, err := Run[int, int](context.Background(), 10, 1, Options{}, 0, nil, merge, nil); err == nil {
 		t.Error("nil kernel accepted")
 	}
 }
@@ -179,7 +185,7 @@ func TestRunMergeRace(t *testing.T) {
 	stop := func(mv MeanVar, samples int) bool { return false }
 	want, _ := serialReference(n, 5, opts, MeanVar{}, sumKernel, mergeMV, stop)
 	for rep := 0; rep < 3; rep++ {
-		got, _, err := Run(n, 5, opts, MeanVar{}, sumKernel, mergeMV, stop)
+		got, _, err := Run(context.Background(), n, 5, opts, MeanVar{}, sumKernel, mergeMV, stop)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,8 +206,173 @@ func ExampleRun() {
 		}
 		return mv, nil
 	}
-	mv, _, _ := Run(400000, 1, Options{Workers: 4}, MeanVar{},
+	mv, _, _ := Run(context.Background(), 400000, 1, Options{Workers: 4}, MeanVar{},
 		kernel, func(t MeanVar, _ int, p MeanVar) MeanVar { t.Merge(p); return t }, nil)
 	fmt.Printf("E[X^2] ~ %.2f\n", mv.Mean)
 	// Output: E[X^2] ~ 1.00
+}
+
+// TestRunCancelMidRoundPartialConsistency cancels the context from
+// inside a lane kernel and asserts the three-way contract of an
+// interrupted run: the typed ErrCanceled taxonomy, a sample count that
+// is a whole number of lanes, and a partial total that is bit-identical
+// to the serial lane-order merge over exactly those lanes.
+func TestRunCancelMidRoundPartialConsistency(t *testing.T) {
+	const batch = 1024
+	const n = 16 * batch
+	stop := func(MeanVar, int) bool { return false }
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var fired int32
+		kernel := func(lane, count int, rng *rand.Rand) (MeanVar, error) {
+			if lane == 5 && atomic.CompareAndSwapInt32(&fired, 0, 1) {
+				cancel()
+			}
+			return sumKernel(lane, count, rng)
+		}
+		got, done, err := Run(ctx, n, 7,
+			Options{BatchSize: batch, CheckEvery: 4, Workers: workers},
+			MeanVar{}, kernel, mergeMV, stop)
+		cancel()
+		if !errors.Is(err, resilient.ErrCanceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCanceled", workers, err)
+		}
+		if errors.Is(err, resilient.ErrDeadline) {
+			t.Errorf("workers=%d: cancel classified as deadline", workers)
+		}
+		if done%batch != 0 || done >= n {
+			t.Fatalf("workers=%d: done = %d, want a partial whole number of lanes", workers, done)
+		}
+		if workers == 1 {
+			// Serial claims are in lane order: lanes 0..5 complete (the
+			// canceling lane included), the rest of the round is skipped.
+			if done != 6*batch {
+				t.Errorf("workers=1: done = %d lanes, want 6", done/batch)
+			}
+		}
+		want, wantDone := serialReference(done, 7, Options{BatchSize: batch}, MeanVar{}, sumKernel, mergeMV, nil)
+		if done != wantDone || got != want {
+			t.Errorf("workers=%d: partial (done=%d, %+v) != serial prefix (done=%d, %+v)",
+				workers, done, got, wantDone, want)
+		}
+	}
+
+	// An already-expired deadline stops the run before any lane.
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, done, err := Run(expired, n, 7, Options{BatchSize: batch}, MeanVar{}, sumKernel, mergeMV, nil)
+	if !errors.Is(err, resilient.ErrDeadline) {
+		t.Fatalf("expired deadline: err = %v, want ErrDeadline", err)
+	}
+	if done != 0 {
+		t.Errorf("expired deadline processed %d samples", done)
+	}
+}
+
+// TestRunQuarantineAccounting pins the panic-isolation contract: with
+// OnQuarantine set a panicking lane is excluded from the merge and
+// reported, done + quarantined samples == n, and the run succeeds;
+// without it the recovered panic surfaces as an ordinary error.
+func TestRunQuarantineAccounting(t *testing.T) {
+	const batch = 512
+	const n = 10 * batch
+	kernel := func(lane, count int, rng *rand.Rand) (int, error) {
+		if lane == 3 {
+			panic("lane 3 corrupted")
+		}
+		return count, nil
+	}
+	merge := func(total, lane, part int) int { return total + part }
+
+	var mu sync.Mutex
+	var qLanes []int
+	qSamples := 0
+	opts := Options{BatchSize: batch, Workers: 4, OnQuarantine: func(lane, samples int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		qLanes = append(qLanes, lane)
+		qSamples += samples
+		var pe *resilient.PanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("OnQuarantine err = %v, want *resilient.PanicError", err)
+		}
+	}}
+	total, done, err := Run(context.Background(), n, 1, opts, 0, kernel, merge, nil)
+	if err != nil {
+		t.Fatalf("quarantined run failed: %v", err)
+	}
+	if len(qLanes) != 1 || qLanes[0] != 3 {
+		t.Fatalf("quarantined lanes = %v, want [3]", qLanes)
+	}
+	if total != n-batch || done != n-batch {
+		t.Errorf("total=%d done=%d, want %d (lane 3 excluded)", total, done, n-batch)
+	}
+	if done+qSamples != n {
+		t.Errorf("done %d + quarantined %d != n %d", done, qSamples, n)
+	}
+
+	// Nil OnQuarantine: the panic degrades to a run error, never a crash.
+	_, _, err = Run(context.Background(), n, 1, Options{BatchSize: batch}, 0, kernel, merge, nil)
+	var pe *resilient.PanicError
+	if !errors.As(err, &pe) || pe.Value != "lane 3 corrupted" {
+		t.Fatalf("err = %v, want wrapped PanicError", err)
+	}
+}
+
+// TestRunCheckpointResumeBitIdentical kills a checkpointed run mid-way
+// with an injected lane failure, resumes it, and asserts the final
+// result is bit-identical to an uninterrupted run — without re-running
+// the lanes already covered by the snapshot.
+func TestRunCheckpointResumeBitIdentical(t *testing.T) {
+	const batch = 1024
+	const n = 20 * batch
+	opts := Options{BatchSize: batch, CheckEvery: 2, Workers: 4}
+	stop := func(MeanVar, int) bool { return false }
+	want, wantDone, err := Run(context.Background(), n, 13, opts, MeanVar{}, sumKernel, mergeMV, stop)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	o := opts
+	o.Checkpoint = &resilient.Checkpointer{Dir: t.TempDir(), Every: 1, Resume: true}
+	boom := errors.New("injected crash")
+	fp := resilient.NewFailpoints()
+	fp.Set("mcengine.lane", resilient.Action{Err: boom, After: 9})
+	resilient.Install(fp)
+	_, _, err = Run(context.Background(), n, 13, o, MeanVar{}, sumKernel, mergeMV, stop)
+	resilient.Install(nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("injected crash not surfaced: %v", err)
+	}
+
+	var lanesRun int64
+	counting := func(lane, count int, rng *rand.Rand) (MeanVar, error) {
+		atomic.AddInt64(&lanesRun, 1)
+		return sumKernel(lane, count, rng)
+	}
+	got, done, err := Run(context.Background(), n, 13, o, MeanVar{}, counting, mergeMV, stop)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if got != want || done != wantDone {
+		t.Errorf("resumed (done=%d, %+v) != uninterrupted (done=%d, %+v)", done, got, wantDone, want)
+	}
+	if int(lanesRun) >= Lanes(n, batch) {
+		t.Errorf("resume re-ran all %d lanes", lanesRun)
+	}
+
+	// A second resume finds the completion snapshot and short-circuits.
+	atomic.StoreInt64(&lanesRun, 0)
+	got, done, err = Run(context.Background(), n, 13, o, MeanVar{}, counting, mergeMV, stop)
+	if err != nil || got != want || done != wantDone {
+		t.Errorf("completed-snapshot resume = (%+v, %d, %v)", got, done, err)
+	}
+	if lanesRun != 0 {
+		t.Errorf("completed-snapshot resume ran %d lanes", lanesRun)
+	}
+
+	// Resuming under different run parameters must fail loudly.
+	if _, _, err := Run(context.Background(), n, 14, o, MeanVar{}, sumKernel, mergeMV, stop); err == nil {
+		t.Error("checkpoint from a different seed accepted")
+	}
 }

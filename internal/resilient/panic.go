@@ -1,0 +1,66 @@
+package resilient
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"mstx/internal/obs"
+)
+
+// PanicError is a worker panic converted into an error by Call: the
+// recovered value plus the goroutine stack at the panic site. Engines
+// treat it as a quarantine signal — the offending lane/batch is marked
+// in the report and the run continues — so a corrupt unit of work can
+// never take down the whole campaign.
+type PanicError struct {
+	// Site names the guarded call site (a failpoint site name by
+	// convention).
+	Site string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the formatted goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("resilient: panic at %s: %v", e.Site, e.Value)
+}
+
+// Call invokes fn and converts a panic into a *PanicError. The stack
+// is captured at recovery, the obs panic counter is bumped and a
+// zero-length "panic:<site>" span is recorded into the trace ring so
+// an operator can see where and when workers died. A nil registry
+// (observability off) skips both — the recovery itself never depends
+// on obs.
+func Call(site string, fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe := &PanicError{Site: site, Value: v, Stack: debug.Stack()}
+			if reg := obs.Default(); reg != nil {
+				reg.Counter("resilient_panics_total").Inc()
+				_, sp := reg.Span(context.Background(), "panic:"+site)
+				sp.End()
+			}
+			err = pe
+		}
+	}()
+	return fn()
+}
+
+// Go runs fn on a new goroutine under Call, tracked by wg. A non-nil
+// result — error or recovered panic — is delivered to onErr (which may
+// be nil to discard). Worker pools spawn their goroutines through Go
+// so that even a panic escaping the per-unit guard (claim logic, pool
+// bookkeeping) degrades to an error instead of crashing the process.
+func Go(wg *sync.WaitGroup, site string, fn func() error, onErr func(error)) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := Call(site, fn); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+}

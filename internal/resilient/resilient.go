@@ -1,0 +1,52 @@
+// Package resilient is the dependency-free robustness layer of the
+// mstx engines: a typed cancellation-error taxonomy for context-aware
+// runs, panic isolation for worker pools (a panicking lane is
+// quarantined and reported, never allowed to kill the process),
+// versioned CRC-checked checkpoint snapshots for kill-and-resume of
+// long campaigns, and a deterministic failpoint registry that lets
+// tests inject errors, panics and delays at named engine sites.
+//
+// Like internal/obs, every feature is off by default and free when
+// off: Fire is one atomic load when no failpoint set is installed, a
+// nil *Checkpointer is a no-op, and Call adds only a deferred recover
+// to the guarded function.
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled is the typed cancellation error: every engine that
+// returns early because its context was canceled wraps this, so
+// callers can classify interruptions with errors.Is(err, ErrCanceled)
+// regardless of which engine or depth the cancel surfaced from.
+var ErrCanceled = errors.New("resilient: run canceled")
+
+// ErrDeadline is the typed deadline error, wrapped by engines whose
+// context deadline expired mid-run.
+var ErrDeadline = errors.New("resilient: deadline exceeded")
+
+// CtxErr translates ctx.Err() into the typed taxonomy. It returns nil
+// for a live context; otherwise the result wraps both the taxonomy
+// error (ErrCanceled or ErrDeadline) and the original context error,
+// so errors.Is holds for context.Canceled/DeadlineExceeded too.
+func CtxErr(ctx context.Context) error {
+	err := ctx.Err()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %w", ErrDeadline, err)
+	default:
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+}
+
+// Interrupted reports whether err represents a context interruption
+// (cancel or deadline) rather than a genuine failure. Engines that
+// return partial results do so exactly when Interrupted(err) is true.
+func Interrupted(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline)
+}

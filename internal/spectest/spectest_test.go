@@ -1,6 +1,7 @@
 package spectest
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -148,7 +149,7 @@ func TestCoverageDropsWithNoiseFloorAndRecoversWithPatterns(t *testing.T) {
 		if err := det.CalibrateFloor(goodNoisy, floorScale); err != nil {
 			t.Fatal(err)
 		}
-		rep, err := fault.Simulate(u, ideal, det)
+		rep, err := fault.Simulate(context.Background(), u, ideal, det)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +158,7 @@ func TestCoverageDropsWithNoiseFloorAndRecoversWithPatterns(t *testing.T) {
 	exactCoverage := func(n int) float64 {
 		fir, ideal, _, _, _, _ := buildFilterAndRecords(t, n)
 		u := fault.NewUniverse(fir, true)
-		rep, err := fault.Simulate(u, ideal, fault.ExactDetector{})
+		rep, err := fault.Simulate(context.Background(), u, ideal, fault.ExactDetector{})
 		if err != nil {
 			t.Fatal(err)
 		}

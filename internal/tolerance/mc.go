@@ -1,10 +1,12 @@
 package tolerance
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"mstx/internal/mcengine"
+	"mstx/internal/resilient"
 )
 
 // MCOptions configures the Monte-Carlo loss estimation engine.
@@ -27,6 +29,14 @@ type MCOptions struct {
 	// Confidence is the CI level for TargetHalfWidth and the reported
 	// half-widths. Defaults to 0.95.
 	Confidence float64
+	// Checkpoint, when enabled, snapshots the merged tally at round
+	// barriers so a killed run resumes bit-identically (see
+	// resilient.Checkpointer).
+	Checkpoint *resilient.Checkpointer
+	// CheckpointName names this run's snapshot inside Checkpoint.Dir.
+	// Defaults to the engine default ("mc"); set it when one command
+	// runs several loss estimations against the same directory.
+	CheckpointName string
 }
 
 func (o MCOptions) normalized() MCOptions {
@@ -43,16 +53,19 @@ func (o MCOptions) normalized() MCOptions {
 }
 
 // lossTally is the engine accumulator for loss estimation: pure
-// integer counts, so the merge is exact and order-independent.
+// integer counts, so the merge is exact and order-independent. Fields
+// are exported because the tally rides inside gob-encoded checkpoint
+// snapshots (gob only serializes exported fields); the type itself
+// stays package-private.
 type lossTally struct {
-	good, bad, overkill, escapes int64
+	Good, Bad, Overkill, Escapes int64
 }
 
 func (t lossTally) add(o lossTally) lossTally {
-	t.good += o.good
-	t.bad += o.bad
-	t.overkill += o.overkill
-	t.escapes += o.escapes
+	t.Good += o.Good
+	t.Bad += o.Bad
+	t.Overkill += o.Overkill
+	t.Escapes += o.Escapes
 	return t
 }
 
@@ -67,14 +80,14 @@ func lossKernel(pDist, errDist Normal, spec, testLimit SpecLimit) func(lane, cou
 			p := pDist.Mean + rng.NormFloat64()*pDist.Sigma
 			m := p + errDist.Mean + rng.NormFloat64()*errDist.Sigma
 			if spec.Acceptable(p) {
-				t.good++
+				t.Good++
 				if !testLimit.Acceptable(m) {
-					t.overkill++
+					t.Overkill++
 				}
 			} else {
-				t.bad++
+				t.Bad++
 				if testLimit.Acceptable(m) {
-					t.escapes++
+					t.Escapes++
 				}
 			}
 		}
@@ -87,16 +100,16 @@ func lossKernel(pDist, errDist Normal, spec, testLimit SpecLimit) func(lane, cou
 func estimateFrom(t lossTally, samples int, z, target float64) LossEstimate {
 	est := LossEstimate{Samples: samples}
 	if samples > 0 {
-		est.GoodFraction = float64(t.good) / float64(samples)
+		est.GoodFraction = float64(t.Good) / float64(samples)
 	}
-	if t.good > 0 {
-		est.YL = float64(t.overkill) / float64(t.good)
+	if t.Good > 0 {
+		est.YL = float64(t.Overkill) / float64(t.Good)
 	}
-	if t.bad > 0 {
-		est.FCL = float64(t.escapes) / float64(t.bad)
+	if t.Bad > 0 {
+		est.FCL = float64(t.Escapes) / float64(t.Bad)
 	}
-	est.FCLHalfWidth = mcengine.ProportionHalfWidth(t.escapes, t.bad, z)
-	est.YLHalfWidth = mcengine.ProportionHalfWidth(t.overkill, t.good, z)
+	est.FCLHalfWidth = mcengine.ProportionHalfWidth(t.Escapes, t.Bad, z)
+	est.YLHalfWidth = mcengine.ProportionHalfWidth(t.Overkill, t.Good, z)
 	est.Converged = target > 0 &&
 		est.FCLHalfWidth <= target && est.YLHalfWidth <= target
 	return est
@@ -109,7 +122,11 @@ func estimateFrom(t lossTally, samples int, z, target float64) LossEstimate {
 // count. With opts.TargetHalfWidth > 0 the run stops at the first
 // round barrier where both loss CIs reach the target, and
 // LossEstimate.Samples reports the draws actually spent.
-func MonteCarloLosses(pDist, errDist Normal, spec, testLimit SpecLimit, n int, seed int64, opts MCOptions) (LossEstimate, error) {
+//
+// Cancellation and deadlines on ctx are honored at lane granularity
+// (see mcengine.Run); an interrupted run returns the zero estimate and
+// a typed error satisfying resilient.Interrupted.
+func MonteCarloLosses(ctx context.Context, pDist, errDist Normal, spec, testLimit SpecLimit, n int, seed int64, opts MCOptions) (LossEstimate, error) {
 	if n <= 0 {
 		return LossEstimate{}, fmt.Errorf("tolerance: sample count %d must be positive", n)
 	}
@@ -118,14 +135,16 @@ func MonteCarloLosses(pDist, errDist Normal, spec, testLimit SpecLimit, n int, s
 	var stop mcengine.Stop[lossTally]
 	if o.TargetHalfWidth > 0 {
 		stop = func(t lossTally, samples int) bool {
-			return mcengine.ProportionHalfWidth(t.escapes, t.bad, z) <= o.TargetHalfWidth &&
-				mcengine.ProportionHalfWidth(t.overkill, t.good, z) <= o.TargetHalfWidth
+			return mcengine.ProportionHalfWidth(t.Escapes, t.Bad, z) <= o.TargetHalfWidth &&
+				mcengine.ProportionHalfWidth(t.Overkill, t.Good, z) <= o.TargetHalfWidth
 		}
 	}
-	total, done, err := mcengine.Run(n, seed, mcengine.Options{
-		Workers:    o.Workers,
-		BatchSize:  o.BatchSize,
-		CheckEvery: o.CheckEvery,
+	total, done, err := mcengine.Run(ctx, n, seed, mcengine.Options{
+		Workers:        o.Workers,
+		BatchSize:      o.BatchSize,
+		CheckEvery:     o.CheckEvery,
+		Checkpoint:     o.Checkpoint,
+		CheckpointName: o.CheckpointName,
 	}, lossTally{}, lossKernel(pDist, errDist, spec, testLimit),
 		func(t lossTally, _ int, p lossTally) lossTally { return t.add(p) }, stop)
 	if err != nil {
@@ -172,8 +191,8 @@ func SerialMonteCarloLosses(pDist, errDist Normal, spec, testLimit SpecLimit, n 
 			done += cnt
 		}
 		if hi < lanes && o.TargetHalfWidth > 0 &&
-			mcengine.ProportionHalfWidth(total.escapes, total.bad, z) <= o.TargetHalfWidth &&
-			mcengine.ProportionHalfWidth(total.overkill, total.good, z) <= o.TargetHalfWidth {
+			mcengine.ProportionHalfWidth(total.Escapes, total.Bad, z) <= o.TargetHalfWidth &&
+			mcengine.ProportionHalfWidth(total.Overkill, total.Good, z) <= o.TargetHalfWidth {
 			break
 		}
 	}

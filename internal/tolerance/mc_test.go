@@ -1,6 +1,7 @@
 package tolerance
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func TestParallelBitIdenticalToSerial(t *testing.T) {
 		for _, workers := range []int{1, 4, 16} {
 			o := opts
 			o.Workers = workers
-			got, err := MonteCarloLosses(p, errD, spec, testLimit, n, seed, o)
+			got, err := MonteCarloLosses(context.Background(), p, errD, spec, testLimit, n, seed, o)
 			if err != nil || got != want {
 				t.Logf("workers=%d seed=%d: %+v != %+v (err=%v)", workers, seed, got, want, err)
 				return false
@@ -70,7 +71,7 @@ func TestEarlyStopBitIdenticalToSerial(t *testing.T) {
 	for _, workers := range []int{1, 4, 16} {
 		o := opts
 		o.Workers = workers
-		got, err := MonteCarloLosses(p, errD, spec, spec, 400000, 9, o)
+		got, err := MonteCarloLosses(context.Background(), p, errD, spec, spec, 400000, 9, o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func TestEarlyStopRespectsTarget(t *testing.T) {
 	p := Normal{Mean: 10, Sigma: 1}
 	errD := Normal{Sigma: 0.3}
 	spec := LowerLimit(8.5)
-	est, err := MonteCarloLosses(p, errD, spec, spec, 800000, 3,
+	est, err := MonteCarloLosses(context.Background(), p, errD, spec, spec, 800000, 3,
 		MCOptions{BatchSize: 4096, CheckEvery: 2, TargetHalfWidth: 0.03})
 	if err != nil {
 		t.Fatal(err)
@@ -110,7 +111,7 @@ func TestMonteCarloSampleAccounting(t *testing.T) {
 	spec := LowerLimit(8.5)
 	// No early stop: every requested sample must be spent, n not a
 	// lane multiple.
-	est, err := MonteCarloLosses(p, Normal{Sigma: 0.3}, spec, spec, 10007, 5, MCOptions{BatchSize: 512})
+	est, err := MonteCarloLosses(context.Background(), p, Normal{Sigma: 0.3}, spec, spec, 10007, 5, MCOptions{BatchSize: 512})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestHalfWidthUnconstrainedPopulations(t *testing.T) {
 	// Spec far below the distribution: no bad parts in any plausible
 	// draw, so FCL is unconstrained.
 	p := Normal{Mean: 10, Sigma: 0.1}
-	est, err := MonteCarloLosses(p, Normal{Sigma: 0.01}, LowerLimit(0), LowerLimit(0), 5000, 1, MCOptions{})
+	est, err := MonteCarloLosses(context.Background(), p, Normal{Sigma: 0.01}, LowerLimit(0), LowerLimit(0), 5000, 1, MCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

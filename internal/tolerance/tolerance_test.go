@@ -1,6 +1,7 @@
 package tolerance
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -133,7 +134,7 @@ func TestBoundKindString(t *testing.T) {
 }
 
 func TestMonteCarloValidation(t *testing.T) {
-	if _, err := MonteCarloLosses(Normal{}, Normal{}, LowerLimit(0), LowerLimit(0), 0, 1, MCOptions{}); err == nil {
+	if _, err := MonteCarloLosses(context.Background(), Normal{}, Normal{}, LowerLimit(0), LowerLimit(0), 0, 1, MCOptions{}); err == nil {
 		t.Error("n=0 accepted")
 	}
 	if _, err := SerialMonteCarloLosses(Normal{}, Normal{}, LowerLimit(0), LowerLimit(0), 0, 1, MCOptions{}); err == nil {
@@ -179,7 +180,7 @@ func TestMonteCarloMatchesAnalytic(t *testing.T) {
 	p := Normal{Mean: 10, Sigma: 1}
 	errD := Normal{Sigma: 0.3}
 	spec := LowerLimit(8.5)
-	mc, err := MonteCarloLosses(p, errD, spec, spec, 400000, 41, MCOptions{})
+	mc, err := MonteCarloLosses(context.Background(), p, errD, spec, spec, 400000, 41, MCOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +202,7 @@ func TestMonteCarloMatchesAnalyticProperty(t *testing.T) {
 		p := Normal{Mean: 10 + rng.Float64()*5, Sigma: 0.5 + rng.Float64()}
 		errD := Normal{Sigma: 0.1 + rng.Float64()*0.5}
 		spec := LowerLimit(p.Mean - 1.5*p.Sigma)
-		mc, err := MonteCarloLosses(p, errD, spec, spec, 60000, rng.Int63(), MCOptions{})
+		mc, err := MonteCarloLosses(context.Background(), p, errD, spec, spec, 60000, rng.Int63(), MCOptions{})
 		if err != nil {
 			return false
 		}

@@ -10,6 +10,7 @@ import (
 	"mstx/internal/obs"
 	"mstx/internal/params"
 	"mstx/internal/path"
+	"mstx/internal/resilient"
 	"mstx/internal/tolerance"
 )
 
@@ -200,19 +201,32 @@ type MCConfig struct {
 	// Workers and BatchSize are passed to the engine (zero = engine
 	// defaults).
 	Workers, BatchSize int
+	// Checkpoint, when enabled, snapshots the merged accumulator at
+	// round barriers so a killed refinement resumes bit-identically.
+	Checkpoint *resilient.Checkpointer
+	// CheckpointName names this run's snapshot inside Checkpoint.Dir.
+	// Defaults to the engine default ("mc"); RefineErrSigmaMC derives a
+	// per-test name automatically.
+	CheckpointName string
 }
 
 // refPartial is the engine accumulator: streaming moments of the
-// signed error plus a quantile sketch of |error|.
+// signed error plus a quantile sketch of |error|. Fields are exported
+// because the accumulator rides inside gob-encoded checkpoint
+// snapshots; the type itself stays package-private.
 type refPartial struct {
-	mv   mcengine.MeanVar
-	hist *mcengine.Histogram
+	MV   mcengine.MeanVar
+	Hist *mcengine.Histogram
 }
 
 // EstimateReferralError runs the referral-error model of one
 // propagation-translated parameter/method on the sharded Monte-Carlo
 // engine. The result is bit-identical for any worker count.
-func EstimateReferralError(sp path.Spec, param params.Kind, method params.Method, cfg MCConfig) (ErrEstimate, error) {
+//
+// Cancellation and deadlines on ctx are honored at lane granularity
+// (see mcengine.Run); an interrupted run returns the zero estimate and
+// a typed error satisfying resilient.Interrupted.
+func EstimateReferralError(ctx context.Context, sp path.Spec, param params.Kind, method params.Method, cfg MCConfig) (ErrEstimate, error) {
 	an, err := AnalyticReferralSigma(sp, param, method)
 	if err != nil {
 		return ErrEstimate{}, err
@@ -229,30 +243,31 @@ func EstimateReferralError(sp path.Spec, param params.Kind, method params.Method
 		if err != nil {
 			return refPartial{}, err
 		}
-		p := refPartial{hist: h}
+		p := refPartial{Hist: h}
 		for i := 0; i < count; i++ {
 			e, err := ReferralError(sp, param, method, sampleDraw(sp, rng))
 			if err != nil {
 				return refPartial{}, err
 			}
-			p.mv.Observe(e)
-			p.hist.Observe(math.Abs(e))
+			p.MV.Observe(e)
+			p.Hist.Observe(math.Abs(e))
 		}
 		return p, nil
 	}
 	merge := func(total refPartial, _ int, part refPartial) refPartial {
-		total.mv.Merge(part.mv)
-		if total.hist == nil {
-			total.hist = part.hist
-		} else if err := total.hist.MergeHist(part.hist); err != nil {
+		total.MV.Merge(part.MV)
+		if total.Hist == nil {
+			total.Hist = part.Hist
+		} else if err := total.Hist.MergeHist(part.Hist); err != nil {
 			// Geometry is fixed above; a mismatch is a programming
 			// error, not a data condition.
 			panic(err)
 		}
 		return total
 	}
-	total, done, err := mcengine.Run(cfg.Samples, cfg.Seed, mcengine.Options{
+	total, done, err := mcengine.Run(ctx, cfg.Samples, cfg.Seed, mcengine.Options{
 		Workers: cfg.Workers, BatchSize: cfg.BatchSize,
+		Checkpoint: cfg.Checkpoint, CheckpointName: cfg.CheckpointName,
 	}, refPartial{}, kernel, merge, nil)
 	if err != nil {
 		return ErrEstimate{}, err
@@ -261,9 +276,9 @@ func EstimateReferralError(sp path.Spec, param params.Kind, method params.Method
 		reg.Counter("translate_mc_draws_total").Add(int64(done))
 	}
 	return ErrEstimate{
-		Sigma:         total.mv.Std(),
-		Mean:          total.mv.Mean,
-		P95:           total.hist.Quantile(0.95),
+		Sigma:         total.MV.Std(),
+		Mean:          total.MV.Mean,
+		P95:           total.Hist.Quantile(0.95),
 		Samples:       done,
 		AnalyticSigma: an,
 	}, nil
@@ -273,9 +288,18 @@ func EstimateReferralError(sp path.Spec, param params.Kind, method params.Method
 // propagation-translated tests (mixer IIP3 and P1dB, filter cut-off)
 // on the Monte-Carlo engine and recomputes their loss sweeps from the
 // refined sigmas. Direct tests and composition tests are untouched.
-func RefineErrSigmaMC(p *path.Path, plan *Plan, cfg MCConfig) error {
+//
+// Cancellation and deadlines on ctx are honored mid-estimation; the
+// plan is left with the tests refined so far and the typed
+// interruption error is returned. With cfg.Checkpoint enabled each
+// test checkpoints under its own derived name, so a killed refinement
+// resumes from the last completed round of the test it died in.
+func RefineErrSigmaMC(ctx context.Context, p *path.Path, plan *Plan, cfg MCConfig) error {
 	if p == nil || plan == nil {
 		return fmt.Errorf("translate: nil path or plan")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	// Observability: one parent span for the refinement pass, one
 	// child span per refined test — all no-ops when disabled.
@@ -298,11 +322,14 @@ func RefineErrSigmaMC(p *path.Path, plan *Plan, cfg MCConfig) error {
 		}
 		c := cfg
 		c.Seed = mcengine.SubstreamSeed(cfg.Seed, i) // independent per test
+		if c.Checkpoint.Enabled() {
+			c.CheckpointName = fmt.Sprintf("refine_%d_%s", i, t.Request.Param)
+		}
 		var testSp *obs.SpanHandle
 		if reg != nil {
 			_, testSp = reg.Span(refineCtx, "translate.refine."+string(t.Request.Param))
 		}
-		est, err := EstimateReferralError(p.Spec, t.Request.Param, t.Method, c)
+		est, err := EstimateReferralError(ctx, p.Spec, t.Request.Param, t.Method, c)
 		testSp.End()
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package translate
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -110,7 +111,7 @@ func TestDeviceDrawNominalGainsExact(t *testing.T) {
 func TestEstimateMatchesAnalyticBudget(t *testing.T) {
 	sp := buildPath(t).Spec
 	for _, c := range propagationCombos() {
-		est, err := EstimateReferralError(sp, c.param, c.method, MCConfig{Samples: 60000, Seed: 11})
+		est, err := EstimateReferralError(context.Background(), sp, c.param, c.method, MCConfig{Samples: 60000, Seed: 11})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,14 +139,14 @@ func TestEstimateMatchesAnalyticBudget(t *testing.T) {
 func TestEstimateDeterministicAcrossWorkers(t *testing.T) {
 	sp := buildPath(t).Spec
 	cfg := MCConfig{Samples: 30000, Seed: 5, BatchSize: 2048}
-	want, err := EstimateReferralError(sp, params.LPFCutoff, params.Adaptive, cfg)
+	want, err := EstimateReferralError(context.Background(), sp, params.LPFCutoff, params.Adaptive, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4, 16} {
 		c := cfg
 		c.Workers = workers
-		got, err := EstimateReferralError(sp, params.LPFCutoff, params.Adaptive, c)
+		got, err := EstimateReferralError(context.Background(), sp, params.LPFCutoff, params.Adaptive, c)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func TestRefineErrSigmaMC(t *testing.T) {
 	}
 	before := make([]PlannedTest, len(plan.Tests))
 	copy(before, plan.Tests)
-	if err := RefineErrSigmaMC(p, plan, MCConfig{Samples: 40000, Seed: 3}); err != nil {
+	if err := RefineErrSigmaMC(context.Background(), p, plan, MCConfig{Samples: 40000, Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
 	refined := 0
@@ -201,10 +202,10 @@ func TestRefineErrSigmaMC(t *testing.T) {
 	if refined == 0 {
 		t.Fatal("no propagation tests refined; plan layout changed?")
 	}
-	if err := RefineErrSigmaMC(nil, plan, MCConfig{}); err == nil {
+	if err := RefineErrSigmaMC(context.Background(), nil, plan, MCConfig{}); err == nil {
 		t.Error("nil path accepted")
 	}
-	if err := RefineErrSigmaMC(p, nil, MCConfig{}); err == nil {
+	if err := RefineErrSigmaMC(context.Background(), p, nil, MCConfig{}); err == nil {
 		t.Error("nil plan accepted")
 	}
 }

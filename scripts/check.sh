@@ -22,6 +22,34 @@ echo "== concurrency suites (race, unshared cache) =="
 # ./... result never masks them.
 go test -race -count=2 ./internal/campaign ./internal/mcengine ./internal/obs
 
+echo "== chaos suite (failpoints, race) =="
+# Deterministic fault injection at the registered engine sites
+# (mcengine.lane, fault.batch, campaign.sim_batch/detect_batch,
+# resilient.checkpoint.save): injected errors, panics and slow batches
+# must never leak goroutines, lose samples, or corrupt the partial
+# accounting. -count=2 so a cached result never masks a race.
+go test -race -count=2 ./internal/resilient ./internal/fault
+
+echo "== kill-and-resume smoke (E6 -checkpoint, SIGKILL, -resume, diff) =="
+# A checkpointed quick E6 run is SIGKILLed mid-flight, resumed from its
+# snapshot directory, and the resumed table must be byte-identical to
+# an uninterrupted baseline. Whatever instant the kill lands (before
+# the first snapshot, mid-run, or after completion), bit-identity must
+# hold — that is the checkpoint/resume contract.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/experiments" ./cmd/experiments
+"$tmp/experiments" -table2 -quick -workers 1 >"$tmp/base.txt" 2>/dev/null
+"$tmp/experiments" -table2 -quick -workers 1 \
+    -checkpoint "$tmp/ckpt" -checkpoint-every 1 >"$tmp/killed.txt" 2>/dev/null &
+smoke_pid=$!
+sleep 0.2
+kill -KILL "$smoke_pid" 2>/dev/null || true
+wait "$smoke_pid" 2>/dev/null || true
+"$tmp/experiments" -table2 -quick -workers 1 \
+    -checkpoint "$tmp/ckpt" -resume >"$tmp/resumed.txt" 2>/dev/null
+diff "$tmp/base.txt" "$tmp/resumed.txt"
+
 echo "== golden diff (E6 Table 2) =="
 # Byte-for-byte against the checked-in golden; regenerate deliberately
 # with: go test ./internal/experiments -run Table2Golden -update
