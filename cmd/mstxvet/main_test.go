@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestListFlag: -list prints the whole catalog and exits 0.
+func TestListFlag(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	for _, name := range []string{"nakedgo", "ctxflow", "determinism", "failpointreg", "obsnil"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestFindingsExitNonzero: a module with an engine-tagged bare go
+// statement makes the driver print the finding and exit 1.
+func TestFindingsExitNonzero(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "eng", "eng.go"), `// Package eng is a scratch engine package.
+//
+//mstxvet:engine
+package eng
+
+import "sync"
+
+// Spawn uses a bare go statement.
+func Spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+`)
+	var out, errOut strings.Builder
+	code := run([]string{"-root", dir, "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stdout %q stderr %q", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "[nakedgo]") || !strings.Contains(out.String(), "bare go statement") {
+		t.Errorf("missing nakedgo finding in output:\n%s", out.String())
+	}
+}
+
+// TestCleanPackagesExitZero runs the driver over real foundational
+// packages of this repo, which must be clean.
+func TestCleanPackagesExitZero(t *testing.T) {
+	root := repoRoot(t)
+	var out, errOut strings.Builder
+	code := run([]string{"-root", root, "internal/resilient", "internal/obs"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stdout %q stderr %q", code, out.String(), errOut.String())
+	}
+}
+
+// TestBadFlagExitTwo: usage errors are distinct from findings.
+func TestBadFlagExitTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newCtxflow builds the ctxflow analyzer. Two rules:
+//
+//  1. A function that receives a context — as a direct parameter, or
+//     inside an options struct with a context.Context field — must not
+//     root a fresh context.Background()/context.TODO() downstream.
+//     Doing so silently detaches the subtree from the caller's
+//     cancellation and deadline, which is exactly the class of bug the
+//     PR-4 taxonomy (lane/record/batch-granular interruption) exists
+//     to prevent. The one allowed shape is the defensive nil guard
+//     `if ctx == nil { ctx = context.Background() }`.
+//
+//  2. In engine packages, an exported entry point that takes a ctx and
+//     spawns goroutines (via resilient.Go or a go statement) must
+//     thread some context into each spawned closure — a worker that
+//     never observes any ctx cannot honor cancellation at lane
+//     granularity.
+func newCtxflow() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxflow",
+		Doc:  "ctx-receiving functions must thread the caller's context, never root a new one",
+	}
+	a.Run = func(prog *Program, pkg *Package, report Reporter) {
+		engine := isEnginePkg(pkg)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				direct := directCtxParams(pkg.Info, fd)
+				if len(direct) == 0 && !hasCtxStructParam(pkg.Info, fd) {
+					continue
+				}
+				checkNoFreshContext(pkg.Info, fd, report)
+				if engine && fd.Name.IsExported() && len(direct) > 0 {
+					checkSpawnsThreadCtx(pkg.Info, fd, report)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// directCtxParams returns the objects of fd's context.Context-typed
+// parameters.
+func directCtxParams(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// hasCtxStructParam reports whether any parameter is a struct (or
+// pointer to one) carrying a context.Context field — the options-bag
+// way engines receive their context (e.g. experiments run options).
+func hasCtxStructParam(info *types.Info, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isContextType(st.Field(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkNoFreshContext flags context.Background()/TODO() calls in fd's
+// body outside the nil-guard idiom.
+func checkNoFreshContext(info *types.Info, fd *ast.FuncDecl, report Reporter) {
+	inspectWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" ||
+			(fn.Name() != "Background" && fn.Name() != "TODO") {
+			return true
+		}
+		if isNilGuardAssign(info, call, stack) {
+			return true
+		}
+		report(call.Pos(), "%s receives a context but roots a new context.%s here; thread the caller's ctx (the nil guard `if ctx == nil { ctx = context.Background() }` is the only allowed fresh root)",
+			fd.Name.Name, fn.Name())
+		return true
+	})
+}
+
+// isNilGuardAssign recognizes `X = context.Background()` as the sole
+// effect of an `if X == nil` branch.
+func isNilGuardAssign(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	asg, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 || asg.Rhs[0] != call {
+		return false
+	}
+	lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.ObjectOf(lhs)
+	if obj == nil {
+		return false
+	}
+	for _, anc := range stack {
+		if ifs, ok := anc.(*ast.IfStmt); ok && condMentionsNil(info, ifs.Cond, obj, token.EQL) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkSpawnsThreadCtx flags goroutine closures spawned by an exported
+// engine entry point that never reference any context value.
+func checkSpawnsThreadCtx(info *types.Info, fd *ast.FuncDecl, report Reporter) {
+	check := func(lit *ast.FuncLit) {
+		if lit == nil || referencesContext(info, lit) {
+			return
+		}
+		report(lit.Pos(), "goroutine spawned by exported engine entry point %s does not reference any context; thread ctx so cancellation reaches the worker", fd.Name.Name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				check(lit)
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, n)
+			if fn != nil && fn.Name() == "Go" && declaredIn(fn, "resilient") {
+				for _, arg := range n.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						check(lit)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// referencesContext reports whether the closure mentions an identifier
+// of type context.Context.
+func referencesContext(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := info.ObjectOf(id); obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// newDeterminism builds the determinism analyzer. The checkpoint/
+// resume contract of PR 4 — a killed run resumed from its snapshot
+// produces a bit-identical result, pinned by the Table 2 golden and
+// the kill-and-resume smoke — only holds if nothing nondeterministic
+// leaks into the values the engines merge, hash, or checkpoint. Three
+// rules over the engine packages:
+//
+//  1. No global math/rand top-level draws (rand.Float64, rand.Intn,
+//     ...): the process-wide source is shared, lock-ordered, and
+//     unseedable per lane. Engines draw from per-lane
+//     rand.New(rand.NewSource(SubstreamSeed(...))) substreams.
+//
+//  2. No wall-clock reads (time.Now, time.Since) outside obs-gated
+//     instrumentation. A clock value is fine when it can only feed
+//     metrics — i.e. the read sits in the then-branch of an
+//     `if <obs handle> != nil` block, the idiom every instrumented
+//     engine uses — but anywhere else it is one assignment away from
+//     a checkpointed ledger.
+//
+//  3. No map-iteration-ordered slice writes: `for k := range m` with a
+//     slice append or indexed slice store in the body publishes Go's
+//     randomized map order into a result slice; collect and sort the
+//     keys first.
+func newDeterminism() *Analyzer {
+	a := &Analyzer{
+		Name: "determinism",
+		Doc:  "engine packages must not read wall clocks, global rand, or map order into results",
+	}
+	a.Run = func(prog *Program, pkg *Package, report Reporter) {
+		if !isEnginePkg(pkg) {
+			return
+		}
+		for _, f := range pkg.Files {
+			inspectWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkCall(pkg.Info, n, stack, report)
+				case *ast.RangeStmt:
+					checkMapRange(pkg.Info, n, report)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkCall(info *types.Info, call *ast.CallExpr, stack []ast.Node, report Reporter) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			return // constructors of private streams are the sanctioned path
+		}
+		report(call.Pos(), "global math/rand.%s draws from the shared process stream; use a per-lane rand.New(rand.NewSource(mcengine.SubstreamSeed(seed, lane))) so replay is bit-identical", fn.Name())
+	case "time":
+		if fn.Name() != "Now" && fn.Name() != "Since" {
+			return
+		}
+		if obsGated(info, stack) {
+			return
+		}
+		report(call.Pos(), "time.%s in an engine package outside an obs-gated block: wall-clock values must never feed checkpointed or merged state (wrap in `if <obs handle> != nil { ... }` if this is instrumentation)", fn.Name())
+	}
+}
+
+// obsGated reports whether the node whose ancestor stack is given sits
+// in the then-branch of an if whose condition proves an obs handle
+// non-nil.
+func obsGated(info *types.Info, stack []ast.Node) bool {
+	for i := len(stack) - 1; i > 0; i-- {
+		ifs, ok := stack[i-1].(*ast.IfStmt)
+		if !ok || stack[i] != ifs.Body {
+			continue
+		}
+		if condHasObsNilCheck(info, ifs.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// condHasObsNilCheck scans a condition for `X != nil` where X is a
+// pointer to a type declared in a package named obs.
+func condHasObsNilCheck(info *types.Info, cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND || e.Op == token.LOR {
+			return condHasObsNilCheck(info, e.X) || condHasObsNilCheck(info, e.Y)
+		}
+		if e.Op != token.NEQ {
+			return false
+		}
+		for _, pair := range [2][2]ast.Expr{{e.X, e.Y}, {e.Y, e.X}} {
+			if isObsHandle(info.TypeOf(pair[0])) && isNilIdent(info, pair[1]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isObsHandle reports whether t is a pointer to a named type declared
+// in a package named "obs" (*obs.Registry, *obs.Histogram, ...).
+func isObsHandle(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	return declaredIn(named.Obj(), "obs")
+}
+
+// checkMapRange flags slice writes inside a range over a map.
+func checkMapRange(info *types.Info, rs *ast.RangeStmt, report Reporter) {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range asg.Lhs {
+			if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if _, isSlice := typeUnder(info, ix.X).(*types.Slice); isSlice {
+					report(asg.Pos(), "indexed slice write inside a map range publishes randomized map order; iterate sorted keys instead")
+					return true
+				}
+			}
+		}
+		for _, rhs := range asg.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, isB := info.Uses[id].(*types.Builtin); isB && b.Name() == "append" {
+					report(asg.Pos(), "append inside a map range publishes randomized map order into the slice; collect keys, sort, then append")
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func typeUnder(info *types.Info, e ast.Expr) types.Type {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

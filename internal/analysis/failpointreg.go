@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// newFailpointreg builds the failpointreg analyzer: the deterministic
+// failpoint registry (internal/resilient) is only as good as its
+// coverage, so the analyzer cross-checks the two halves of every site:
+//
+//   - every resilient.Site registration takes a string literal (a
+//     computed name can silently dodge chaos coverage) and each
+//     literal is registered exactly once;
+//   - every resilient.Fire argument resolves to a registered site —
+//     either a literal or a package-level variable initialized with
+//     resilient.Site("...");
+//   - on whole-program runs, every registered site is actually fired
+//     somewhere in non-test code, so a dead registration can't imply
+//     chaos coverage that doesn't exist.
+//
+// The same extraction is exported as FailpointSites for the chaos
+// suite, which asserts the runtime registry matches the static one.
+func newFailpointreg() *Analyzer {
+	type siteRef struct {
+		name string
+		pos  token.Pos
+	}
+	var (
+		registered = map[string][]token.Pos{} // literal -> registration sites
+		fired      = map[string][]token.Pos{} // resolved literal -> fire sites
+		varSites   = map[types.Object]string{}
+		deferred   []struct {
+			obj types.Object
+			pos token.Pos
+		}
+		regOrder []siteRef
+	)
+	a := &Analyzer{
+		Name: "failpointreg",
+		Doc:  "failpoint sites must be registered once, with a literal, and every registration fired",
+	}
+	a.Run = func(prog *Program, pkg *Package, report Reporter) {
+		info := pkg.Info
+		// First pass: package-level `var fp = resilient.Site("...")`
+		// declarations, so Fire arguments resolve regardless of order.
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+						continue
+					}
+					call, ok := ast.Unparen(vs.Values[0]).(*ast.CallExpr)
+					if !ok {
+						continue
+					}
+					if fn := calleeFunc(info, call); fn == nil || fn.Name() != "Site" || !declaredIn(fn, "resilient") {
+						continue
+					}
+					if name, ok := stringLit(call); ok {
+						varSites[info.Defs[vs.Names[0]]] = name
+					}
+				}
+			}
+		}
+		// Second pass: every Site registration and Fire evaluation.
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || !declaredIn(fn, "resilient") {
+					return true
+				}
+				switch fn.Name() {
+				case "Site":
+					name, ok := stringLit(call)
+					if !ok {
+						report(call.Pos(), "failpoint site name must be a string literal so chaos coverage is statically enumerable")
+						return true
+					}
+					registered[name] = append(registered[name], call.Pos())
+					regOrder = append(regOrder, siteRef{name, call.Pos()})
+				case "Fire":
+					if len(call.Args) != 1 {
+						return true
+					}
+					if name, ok := stringLit(call); ok {
+						fired[name] = append(fired[name], call.Pos())
+						return true
+					}
+					var id *ast.Ident
+					switch arg := ast.Unparen(call.Args[0]).(type) {
+					case *ast.Ident:
+						id = arg
+					case *ast.SelectorExpr:
+						id = arg.Sel
+					}
+					if id == nil {
+						report(call.Pos(), "failpoint Fire argument must be a site literal or a variable initialized with resilient.Site(...)")
+						return true
+					}
+					// Resolution is deferred to Finish: the defining
+					// package may not have been visited yet.
+					deferred = append(deferred, struct {
+						obj types.Object
+						pos token.Pos
+					}{info.ObjectOf(id), call.Pos()})
+				}
+				return true
+			})
+		}
+	}
+	a.Finish = func(prog *Program, report Reporter) {
+		for _, d := range deferred {
+			if name, ok := varSites[d.obj]; ok {
+				fired[name] = append(fired[name], d.pos)
+				continue
+			}
+			report(d.pos, "failpoint Fire argument does not resolve to a resilient.Site(\"...\") registration")
+		}
+		for _, ref := range regOrder {
+			if n := len(registered[ref.name]); n > 1 {
+				report(ref.pos, "failpoint site %q registered %d times; each site must be declared exactly once", ref.name, n)
+			}
+		}
+		names := make([]string, 0, len(fired))
+		for name := range fired {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if len(registered[name]) == 0 {
+				for _, pos := range fired[name] {
+					report(pos, "failpoint site %q fired but never registered via resilient.Site; the chaos suite cannot see it", name)
+				}
+			}
+		}
+		if prog.WholeProgram {
+			for _, ref := range regOrder {
+				if len(fired[ref.name]) == 0 && len(registered[ref.name]) == 1 {
+					report(ref.pos, "failpoint site %q registered but never fired in non-test code; dead registrations fake chaos coverage", ref.name)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// stringLit extracts a first-argument string literal from a call.
+func stringLit(call *ast.CallExpr) (string, bool) {
+	if len(call.Args) < 1 {
+		return "", false
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// FailpointSites statically enumerates every failpoint site literal
+// registered via resilient.Site in the non-test sources under root,
+// sorted and de-duplicated. It is parse-only (no type checking), so
+// tests can afford to call it: the chaos suite derives its
+// registry-completeness assertion from this list instead of a
+// hand-pinned copy, making it impossible to add an engine site without
+// extending chaos coverage.
+func FailpointSites(root string) ([]string, error) {
+	seen := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || name == "vendor" ||
+				(path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_"))) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !eligibleGoFile(name) {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		inResilient := f.Name.Name == "resilient"
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				if !inResilient || fun.Name != "Site" {
+					return true
+				}
+			case *ast.SelectorExpr:
+				x, ok := ast.Unparen(fun.X).(*ast.Ident)
+				if !ok || x.Name != "resilient" || fun.Sel.Name != "Site" {
+					return true
+				}
+			default:
+				return true
+			}
+			if s, ok := stringLit(call); ok {
+				seen[s] = true
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out, nil
+}

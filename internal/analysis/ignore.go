@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the in-source suppression idiom:
+//
+//	//mstxvet:ignore <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. The
+// analyzer name "all" suppresses every analyzer; the reason is
+// mandatory — an ignore without one is itself a diagnostic, so
+// suppressions stay auditable.
+const ignorePrefix = "//mstxvet:ignore"
+
+// ignoreKey identifies one suppressed source line for one analyzer.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ignoreSet indexes the ignore directives of the target packages.
+type ignoreSet map[ignoreKey]bool
+
+// collectIgnores scans the comments of every target package. Malformed
+// directives (no analyzer, or no reason) are reported through report.
+func collectIgnores(prog *Program, targets []*Package, report func(d Diagnostic)) ignoreSet {
+	set := ignoreSet{}
+	for _, pkg := range targets {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(c.Text)
+					if !strings.HasPrefix(text, ignorePrefix) {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					fields := strings.Fields(strings.TrimPrefix(text, ignorePrefix))
+					if len(fields) < 2 {
+						report(Diagnostic{
+							Pos:      pos,
+							Analyzer: "mstxvet",
+							Message:  "malformed ignore directive: want //mstxvet:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					set[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// suppressed reports whether d is covered by a directive on its own
+// line or the line above.
+func (s ignoreSet) suppressed(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if s[ignoreKey{d.Pos.Filename, line, d.Analyzer}] ||
+			s[ignoreKey{d.Pos.Filename, line, "all"}] {
+			return true
+		}
+	}
+	return false
+}
+
+// position is a small helper for analyzers that report on positions
+// they computed themselves.
+func position(prog *Program, pos token.Pos) token.Position { return prog.Fset.Position(pos) }

@@ -1,0 +1,32 @@
+package analysis
+
+import "go/ast"
+
+// newNakedgo builds the nakedgo analyzer: engine packages (campaign,
+// mcengine, fault, tolerance, translate, or anything tagged
+// //mstxvet:engine) must never use a bare `go` statement. Every
+// goroutine in those packages is spawned through resilient.Go (or its
+// body guarded by resilient.Call), so a panicking worker degrades to a
+// *PanicError and a quarantined unit of work instead of crashing the
+// whole campaign — the contract DESIGN.md §9 established and the chaos
+// suite exercises.
+func newNakedgo() *Analyzer {
+	a := &Analyzer{
+		Name: "nakedgo",
+		Doc:  "engine packages must spawn goroutines via resilient.Go so panics stay quarantined",
+	}
+	a.Run = func(prog *Program, pkg *Package, report Reporter) {
+		if !isEnginePkg(pkg) {
+			return
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					report(g.Pos(), "bare go statement in engine package %s: spawn through resilient.Go so a panic is quarantined instead of crashing the campaign", pkg.Types.Name())
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

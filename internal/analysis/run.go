@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"sort"
+)
+
+// Vet loads the configured packages and runs the given analyzers over
+// them, returning the surviving (non-suppressed) diagnostics in
+// position order. Broken packages — parse errors, type-check failures
+// — degrade to diagnostics on the package instead of aborting the
+// whole run, so one corrupt file never hides findings elsewhere; only
+// infrastructure failures (bad root, unreadable dirs) return an error.
+func Vet(cfg Config, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog, err := Load(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	emit := func(d Diagnostic) { diags = append(diags, d) }
+	reporterFor := func(name string) Reporter {
+		return func(pos token.Pos, format string, args ...any) {
+			emit(Diagnostic{
+				Pos:      position(prog, pos),
+				Analyzer: name,
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+	}
+
+	ignores := collectIgnores(prog, prog.Targets, emit)
+
+	for _, pkg := range prog.Targets {
+		if pkg.Broken() {
+			// Surface every reason the package could not be analyzed;
+			// the go error values already carry file:line positions, so
+			// anchor the diagnostic at the package and quote them.
+			for _, e := range pkg.ParseErrs {
+				pos := position(prog, firstPos(pkg))
+				// A wholly unparseable package has no file to anchor on;
+				// the scanner error itself knows where it choked.
+				var el scanner.ErrorList
+				if errors.As(e, &el) && len(el) > 0 {
+					pos = el[0].Pos
+				}
+				emit(Diagnostic{
+					Pos:      pos,
+					Analyzer: "mstxvet",
+					Message:  "package " + pkg.Path + ": parse error: " + e.Error(),
+				})
+			}
+			for _, e := range pkg.TypeErrs {
+				emit(Diagnostic{
+					Pos:      position(prog, firstPos(pkg)),
+					Analyzer: "mstxvet",
+					Message:  "package " + pkg.Path + ": type error: " + e.Error(),
+				})
+			}
+			continue
+		}
+		for _, a := range analyzers {
+			a.Run(prog, pkg, reporterFor(a.Name))
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(prog, reporterFor(a.Name))
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if !ignores.suppressed(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// firstPos anchors package-level diagnostics: the first parsed file's
+// package clause, or NoPos for a package nothing parsed from.
+func firstPos(pkg *Package) token.Pos {
+	if len(pkg.Files) > 0 {
+		return pkg.Files[0].Package
+	}
+	return token.NoPos
+}

@@ -1,0 +1,6 @@
+// Package ignorebad carries a reason-less ignore directive, which is
+// itself a finding: suppressions must stay auditable.
+package ignorebad
+
+//mstxvet:ignore nakedgo
+func Fine() {}

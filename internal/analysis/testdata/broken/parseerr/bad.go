@@ -1,0 +1,5 @@
+// Package parseerr is deliberately unparseable: the framework must
+// degrade it to a diagnostic instead of crashing.
+package parseerr
+
+func Broken( {

@@ -1,0 +1,7 @@
+// Package typeerr parses but does not type-check: the framework must
+// report the type error and skip analysis of the package.
+package typeerr
+
+func Broken() int {
+	return undefinedName
+}

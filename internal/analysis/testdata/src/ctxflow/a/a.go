@@ -1,0 +1,77 @@
+// Package a is the engine-tagged ctxflow fixture: ctx-receiving
+// functions must thread the caller's context and hand it to spawned
+// workers.
+//
+//mstxvet:engine
+package a
+
+import (
+	"context"
+	"sync"
+
+	"resilient"
+)
+
+// Options is the options-bag way a context arrives.
+type Options struct {
+	Ctx context.Context
+	N   int
+}
+
+// NilGuard uses the one allowed fresh root.
+func NilGuard(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}
+
+// Detach roots a fresh context mid-path, detaching the subtree.
+func Detach(ctx context.Context) context.Context {
+	sub := context.Background() // want `roots a new context.Background`
+	_ = ctx
+	return sub
+}
+
+// Todo roots a TODO, which is just as detached.
+func Todo(ctx context.Context) {
+	_ = ctx
+	c := context.TODO() // want `roots a new context.TODO`
+	_ = c
+}
+
+// FromOpts receives its context inside the options struct; a fresh
+// root downstream is still a finding.
+func FromOpts(o Options) context.Context {
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	_ = context.Background() // want `roots a new context.Background`
+	return ctx
+}
+
+// Fanout threads ctx into its workers — compliant.
+func Fanout(ctx context.Context, wg *sync.WaitGroup) {
+	resilient.Go(wg, "a.worker", func() error {
+		<-ctx.Done()
+		return nil
+	}, nil)
+}
+
+// Leak spawns a worker that never observes any context.
+func Leak(ctx context.Context, wg *sync.WaitGroup) {
+	_ = ctx
+	resilient.Go(wg, "a.leak", func() error { // want `does not reference any context`
+		return nil
+	}, nil)
+}
+
+// GoLeak leaks via a bare go statement instead.
+func GoLeak(ctx context.Context, wg *sync.WaitGroup) {
+	_ = ctx
+	wg.Add(1)
+	go func() { // want `does not reference any context`
+		defer wg.Done()
+	}()
+}

@@ -1,0 +1,69 @@
+// Package a is the engine-tagged determinism fixture: no global rand,
+// no ungated wall clocks, no map-ordered slice writes.
+//
+//mstxvet:engine
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"obs"
+)
+
+// Draw uses the process-global stream — nondeterministic under
+// concurrency.
+func Draw() float64 {
+	return rand.Float64() // want `global math/rand.Float64`
+}
+
+// Lane draws from a private substream — the sanctioned path.
+func Lane(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Stamp reads the wall clock straight into engine state.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in an engine package`
+}
+
+// Timed reads the clock only under an obs gate — allowed.
+func Timed(reg *obs.Registry) {
+	if reg != nil {
+		start := time.Now()
+		reg.Observe(time.Since(start).Seconds())
+	}
+}
+
+// Collect publishes randomized map order into the result slice.
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append inside a map range`
+	}
+	return keys
+}
+
+// CollectSorted is the collect-then-sort idiom: the append still sees
+// random order, but the sort below restores determinism, so the site
+// carries an audited suppression.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		//mstxvet:ignore determinism keys are sorted immediately below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Fill writes through a cursor into a slice during map iteration.
+func Fill(m map[int]float64, out []float64) {
+	i := 0
+	for _, v := range m {
+		out[i] = v // want `indexed slice write inside a map range`
+		i++
+	}
+}

@@ -1,0 +1,17 @@
+// Package obs is a minimal stand-in for mstx/internal/obs so the
+// determinism fixture can exercise the obs-gated clock idiom.
+package obs
+
+// Registry is the stub handle type; nil means disabled.
+type Registry struct{}
+
+// Default returns the installed registry, nil when disabled.
+func Default() *Registry { return nil }
+
+// Observe records one sample.
+func (r *Registry) Observe(seconds float64) {
+	if r == nil {
+		return
+	}
+	_ = seconds
+}

@@ -1,0 +1,39 @@
+// Package a is the failpointreg fixture. It imports the real
+// mstx/internal/resilient — which also proves the loader resolves
+// module-internal imports from fixture packages.
+package a
+
+import "mstx/internal/resilient"
+
+var fpGood = resilient.Site("fx.good")
+
+var fpDup = resilient.Site("fx.dup") // want `registered 2 times`
+
+var fpDup2 = resilient.Site("fx.dup") // want `registered 2 times`
+
+var fpUnused = resilient.Site("fx.unused") // want `registered but never fired`
+
+// Work fires the registered sites plus one ghost the registry has
+// never seen.
+func Work() error {
+	if err := resilient.Fire(fpGood); err != nil {
+		return err
+	}
+	if err := resilient.Fire("fx.ghost"); err != nil { // want `fired but never registered`
+		return err
+	}
+	if err := resilient.Fire(fpDup); err != nil {
+		return err
+	}
+	return resilient.Fire(fpDup2)
+}
+
+// Dynamic registers a computed site name, which chaos coverage can
+// never enumerate.
+func Dynamic(name string) {
+	_ = resilient.Site(name) // want `must be a string literal`
+}
+
+// Unused keeps the unused-site variable referenced so the fixture
+// compiles.
+func Unused() string { return fpUnused }

@@ -1,0 +1,37 @@
+// Package a is the engine-tagged nakedgo fixture: bare go statements
+// are findings, resilient-spawned and suppressed ones are not.
+//
+//mstxvet:engine
+package a
+
+import "sync"
+
+// Spawn launches a worker with a bare go statement.
+func Spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want `bare go statement in engine package a`
+		defer wg.Done()
+	}()
+}
+
+// SpawnLoop launches workers in a loop, still bare.
+func SpawnLoop(wg *sync.WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go worker(wg) // want `bare go statement in engine package a`
+	}
+}
+
+// SpawnSuppressed carries an audit-trailed suppression and must not be
+// reported.
+func SpawnSuppressed(wg *sync.WaitGroup) {
+	wg.Add(1)
+	//mstxvet:ignore nakedgo fixture exercising the suppression idiom
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}

@@ -1,0 +1,13 @@
+// Package b is not an engine package: bare go statements are allowed
+// and the nakedgo fixture expects zero findings here.
+package b
+
+import "sync"
+
+// Spawn may use a bare go statement outside the engine layer.
+func Spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}

@@ -1,0 +1,17 @@
+// Package b is the other half of the obsnil namespace fixture: it
+// re-registers package a's metric names with a different kind, a
+// different histogram geometry, and (for the owner rule) identical
+// shape from a second package.
+package b
+
+import "obs"
+
+// Metrics registers the conflicting half of each collision.
+func Metrics() {
+	reg := obs.Default()
+	reg.Gauge("fx_mixed_total")                   // want `more than one kind`
+	reg.Histogram("fx_geom_seconds", 0, 2, 64)    // want `conflicting geometries`
+	reg.Counter("fx_owner_total")                 // want `registered from multiple packages`
+	reg.Histogram("fx_shared_seconds", 0, 10, 32) // want `registered from multiple packages`
+	reg.Counter("b_only_total")
+}

@@ -230,7 +230,7 @@ func (e *Engine) Run(ctx context.Context, xs []int64) (*fault.Report, *Stats, er
 		busyNanos   int64
 	)
 	if reg != nil {
-		runCtx, runSp = reg.Span(context.Background(), "campaign.run")
+		runCtx, runSp = reg.Span(ctx, "campaign.run")
 		defer runSp.End()
 		verdictHist = reg.Histogram("campaign_verdict_seconds", 0, 0.1, 64)
 		genCounter = reg.Counter("campaign_records_generated_total")
@@ -463,10 +463,16 @@ func (e *Engine) Run(ctx context.Context, xs []int64) (*fault.Report, *Stats, er
 			}
 		}, onPool)
 	}
-	go func() {
+	// The closer must run unconditionally — even after cancellation —
+	// or the detection pool would park forever on a never-closed jobs
+	// channel; it is the one goroutine here that ignores ctx on purpose.
+	var closerWG sync.WaitGroup
+	//mstxvet:ignore ctxflow closer must outlive cancellation to close the jobs channel
+	resilient.Go(&closerWG, "campaign.jobs_closer", func() error {
 		simWG.Wait()
 		close(jobs)
-	}()
+		return nil
+	}, nil)
 
 	// Stage 2: detection pool. Each worker owns one scratch; lanes
 	// whose record matches the good record take the screened verdict

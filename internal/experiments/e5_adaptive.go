@@ -100,7 +100,7 @@ func Fig4(opts Fig4Options) (*Fig4Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	_, devSp := obs.Span(context.Background(), "e5.devices")
+	_, devSp := obs.Span(ctx, "e5.devices")
 	all, _, err := mcengine.Run(ctx, opts.Devices, opts.Seed+400,
 		mcengine.Options{
 			Workers: opts.Workers, BatchSize: 1,

@@ -132,10 +132,14 @@ func Table2(opts Table2Options) (*Table2Result, error) {
 	}
 
 	res := &Table2Result{Devices: opts.Devices}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	// Observability: the device-population measurement and the loss
 	// cross-check are E6's two expensive phases; give each a child
 	// span so a slow Table 2 run is attributable.
-	e6Ctx, e6Sp := obs.Span(context.Background(), "e6.table2")
+	e6Ctx, e6Sp := obs.Span(ctx, "e6.table2")
 	defer e6Sp.End()
 	_, devSp := obs.Span(e6Ctx, "e6.devices")
 	// One engine lane per device: the device draw and every study's
@@ -162,10 +166,6 @@ func Table2(opts Table2Options) (*Table2Result, error) {
 	}
 	merge := func(total [][3]float64, _ int, part [][3]float64) [][3]float64 {
 		return append(total, part...)
-	}
-	ctx := opts.Ctx
-	if ctx == nil {
-		ctx = context.Background()
 	}
 	all, _, err := mcengine.Run(ctx, opts.Devices, opts.Seed+600,
 		mcengine.Options{

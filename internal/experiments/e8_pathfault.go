@@ -96,7 +96,7 @@ func PathFaultSim(opts PathFaultOptions) (*PathFaultResult, error) {
 	// Observability: one child span per campaign of the study, so the
 	// trace shows where an E8 run spends its time (the long-record
 	// spectral campaign dominates).
-	e8Ctx, e8Sp := obs.Span(context.Background(), "e8.pathfault")
+	e8Ctx, e8Sp := obs.Span(ctx, "e8.pathfault")
 	defer e8Sp.End()
 
 	build := func(patterns int) (*core.DigitalTest, error) {

@@ -429,7 +429,7 @@ func SimulateOpts(ctx context.Context, u *Universe, xs []int64, det Detector, op
 	reg := obs.Default()
 	var sp *obs.SpanHandle
 	if reg != nil {
-		_, sp = reg.Span(context.Background(), "fault.simulate")
+		_, sp = reg.Span(ctx, "fault.simulate")
 		defer sp.End()
 	}
 	var quarantined int64

@@ -239,7 +239,7 @@ func Run[T, P any](ctx context.Context, n int, seed int64, opts Options, total T
 		stopped     bool
 	)
 	if reg != nil {
-		_, runSp = reg.Span(context.Background(), "mcengine.run")
+		_, runSp = reg.Span(ctx, "mcengine.run")
 		defer runSp.End()
 		barrierHist = reg.Histogram("mc_barrier_wait_seconds", 0, 10, 64)
 		mergeHist = reg.Histogram("mc_merge_seconds", 0, 1, 64)

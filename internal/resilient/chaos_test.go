@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"mstx/internal/analysis"
 	"mstx/internal/campaign"
 	"mstx/internal/digital"
 	"mstx/internal/dsp"
@@ -26,16 +27,20 @@ import (
 	"mstx/internal/spectest"
 )
 
-// TestChaosSiteRegistryComplete pins the engine failpoint surface: a
-// new Site() call must be added here (and given chaos coverage), and
-// a renamed site fails loudly instead of silently losing coverage.
+// TestChaosSiteRegistryComplete pins the engine failpoint surface
+// against the statically extracted site list (the failpointreg
+// analyzer's extraction, exported as analysis.FailpointSites): the
+// runtime registry linked into this test binary must register exactly
+// the sites the source tree declares. Registering a site in a package
+// this suite does not import — i.e. does not give chaos coverage —
+// fails here, as does renaming one side without the other.
 func TestChaosSiteRegistryComplete(t *testing.T) {
-	want := []string{
-		"campaign.detect_batch",
-		"campaign.sim_batch",
-		"fault.batch",
-		"mcengine.lane",
-		"resilient.checkpoint.save",
+	want, err := analysis.FailpointSites("../..")
+	if err != nil {
+		t.Fatalf("static site extraction: %v", err)
+	}
+	if len(want) == 0 {
+		t.Fatal("static site extraction found no failpoint sites")
 	}
 	// Unit tests in this package register their own scratch sites
 	// (prefix "test."); the engine surface is everything else.

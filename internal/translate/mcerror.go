@@ -304,7 +304,7 @@ func RefineErrSigmaMC(ctx context.Context, p *path.Path, plan *Plan, cfg MCConfi
 	// Observability: one parent span for the refinement pass, one
 	// child span per refined test — all no-ops when disabled.
 	reg := obs.Default()
-	refineCtx := context.Background()
+	refineCtx := ctx
 	var refineSp *obs.SpanHandle
 	if reg != nil {
 		refineCtx, refineSp = reg.Span(refineCtx, "translate.mc_refine")

@@ -6,8 +6,25 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+# Everything outside testdata must be gofmt-clean (fixtures include a
+# deliberately unparseable file gofmt would choke on).
+unformatted=$(find . -name '*.go' -not -path '*/testdata/*' -not -path './.git/*' | xargs gofmt -l)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet =="
 go vet ./...
+
+echo "== mstxvet (project invariants) =="
+# The internal/analysis catalog: panic quarantine, context threading,
+# determinism, failpoint registry coverage, obs nil-safety. Must be
+# self-clean over the whole repo (suppressions need an audited
+# //mstxvet:ignore <analyzer> <reason>).
+go run ./cmd/mstxvet ./...
 
 echo "== go build =="
 go build ./...
