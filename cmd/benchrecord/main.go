@@ -1,0 +1,232 @@
+// Command benchrecord parses `go test -bench -benchmem` output from
+// stdin and appends one entry to a JSON performance-trajectory file
+// (BENCH_dsp.json, BENCH_campaign.json at the repo root). With
+// -compare it first checks the run against the last recorded entry and
+// exits non-zero on a regression — >15% ns/op growth (tunable with
+// -max-ns-regress) or any allocs/op growth on a benchmark present in
+// both — without appending, which makes it the perf gate in
+// scripts/check.sh.
+//
+// Usage:
+//
+//	go test -bench X -benchmem ./pkg | benchrecord -out BENCH_x.json \
+//	    -sha "$(git rev-parse --short HEAD)" -date "$(date -u +%FT%TZ)" -compare
+//
+// The commit SHA and timestamp are passed in by the caller rather than
+// read here, so the tool itself stays deterministic for a given input.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// BenchResult is one benchmark's measurements from a single run.
+type BenchResult struct {
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Entry is one recorded run of a benchmark suite.
+type Entry struct {
+	SHA        string                 `json:"sha"`
+	Date       string                 `json:"date"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchrecord", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out      = fs.String("out", "", "trajectory JSON file to append to (required)")
+		sha      = fs.String("sha", "", "commit SHA to record")
+		date     = fs.String("date", "", "UTC timestamp to record (RFC 3339)")
+		compare  = fs.Bool("compare", false, "gate against the last recorded entry before appending")
+		maxNs    = fs.Float64("max-ns-regress", 15, "allowed ns/op growth vs baseline, percent")
+		echoOnly = fs.Bool("n", false, "parse and print, do not write the trajectory file")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: go test -bench X -benchmem ./pkg | benchrecord -out FILE [-sha S] [-date D] [-compare]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *out == "" && !*echoOnly {
+		fmt.Fprintln(stderr, "benchrecord: -out is required")
+		return 2
+	}
+
+	benches, err := parseBench(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchrecord: %v\n", err)
+		return 2
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(stderr, "benchrecord: no benchmark lines in input")
+		return 2
+	}
+	for name, r := range benches {
+		fmt.Fprintf(stdout, "%-40s %10d iter %14.1f ns/op %8d B/op %6d allocs/op\n",
+			name, r.Iterations, r.NsPerOp, r.BPerOp, r.AllocsPerOp)
+	}
+	if *echoOnly {
+		return 0
+	}
+
+	trajectory, err := loadTrajectory(*out)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchrecord: %v\n", err)
+		return 2
+	}
+	if *compare && len(trajectory) > 0 {
+		baseline := trajectory[len(trajectory)-1]
+		regressions := compareRuns(baseline.Benchmarks, benches, *maxNs)
+		if len(regressions) > 0 {
+			fmt.Fprintf(stderr, "benchrecord: %d regression(s) vs %s (%s):\n",
+				len(regressions), baseline.SHA, baseline.Date)
+			for _, r := range regressions {
+				fmt.Fprintf(stderr, "  %s\n", r)
+			}
+			fmt.Fprintf(stderr, "benchrecord: not recording; fix or re-baseline %s\n", *out)
+			return 1
+		}
+	}
+
+	trajectory = append(trajectory, Entry{SHA: *sha, Date: *date, Benchmarks: benches})
+	if err := writeTrajectory(*out, trajectory); err != nil {
+		fmt.Fprintf(stderr, "benchrecord: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "recorded %d benchmarks to %s (%d entries)\n", len(benches), *out, len(trajectory))
+	return 0
+}
+
+// parseBench extracts benchmark result lines from go test output.
+// Lines look like
+//
+//	BenchmarkWelchScratch-8   50   234807 ns/op   97 B/op   0 allocs/op
+//
+// with the B/op and allocs/op columns present only under -benchmem.
+// The -N GOMAXPROCS suffix is stripped so recorded names are stable
+// across machines.
+func parseBench(r io.Reader) (map[string]BenchResult, error) {
+	benches := make(map[string]BenchResult)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := BenchResult{Iterations: iters}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				if res.NsPerOp, err = strconv.ParseFloat(val, 64); err == nil {
+					ok = true
+				}
+			case "B/op":
+				res.BPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				res.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		if !ok {
+			continue
+		}
+		if _, dup := benches[name]; dup {
+			return nil, fmt.Errorf("duplicate benchmark %q in input (mixed runs?)", name)
+		}
+		benches[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return benches, nil
+}
+
+// compareRuns returns one human-readable line per regression of cur
+// against base. Benchmarks present in only one run are skipped: the
+// gate guards drift on the common set, renames re-baseline themselves.
+func compareRuns(base, cur map[string]BenchResult, maxNsPct float64) []string {
+	var regressions []string
+	for _, name := range sortedKeys(cur) {
+		b, inBase := base[name]
+		if !inBase {
+			continue
+		}
+		c := cur[name]
+		if b.NsPerOp > 0 {
+			growth := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+			if growth > maxNsPct {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.0f ns/op, %.1f%% over baseline %.0f (limit %.0f%%)",
+					name, c.NsPerOp, growth, b.NsPerOp, maxNsPct))
+			}
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %d allocs/op, baseline %d (any growth fails)",
+				name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return regressions
+}
+
+func sortedKeys(m map[string]BenchResult) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func loadTrajectory(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var trajectory []Entry
+	if err := json.Unmarshal(data, &trajectory); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return trajectory, nil
+}
+
+func writeTrajectory(path string, trajectory []Entry) error {
+	data, err := json.MarshalIndent(trajectory, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

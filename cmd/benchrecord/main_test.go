@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleRun = `goos: linux
+goarch: amd64
+pkg: mstx/internal/dsp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPowerSpectrumAllocating1024 	      50	    118763 ns/op	   37696 B/op	       5 allocs/op
+BenchmarkPowerSpectrumScratch1024-8  	      50	     14874 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWelchScratch                	      50	    234807 ns/op	      97 B/op	       0 allocs/op
+PASS
+ok  	mstx/internal/dsp	0.099s
+`
+
+func TestParseBench(t *testing.T) {
+	benches, err := parseBench(strings.NewReader(sampleRun))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(benches))
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	r, ok := benches["BenchmarkPowerSpectrumScratch1024"]
+	if !ok {
+		t.Fatalf("suffix not stripped: %v", benches)
+	}
+	if r.Iterations != 50 || r.NsPerOp != 14874 || r.BPerOp != 0 || r.AllocsPerOp != 0 {
+		t.Errorf("scratch result = %+v", r)
+	}
+	if r := benches["BenchmarkPowerSpectrumAllocating1024"]; r.BPerOp != 37696 || r.AllocsPerOp != 5 {
+		t.Errorf("allocating result = %+v", r)
+	}
+}
+
+func TestParseBenchWithoutBenchmem(t *testing.T) {
+	benches, err := parseBench(strings.NewReader("BenchmarkX-4   100   500 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := benches["BenchmarkX"]; r.NsPerOp != 500 || r.BPerOp != 0 {
+		t.Errorf("result = %+v", r)
+	}
+}
+
+func TestParseBenchRejectsDuplicates(t *testing.T) {
+	in := "BenchmarkX-4 100 500 ns/op\nBenchmarkX-4 100 510 ns/op\n"
+	if _, err := parseBench(strings.NewReader(in)); err == nil {
+		t.Fatal("duplicate benchmark accepted")
+	}
+}
+
+func TestCompareRuns(t *testing.T) {
+	base := map[string]BenchResult{
+		"A": {NsPerOp: 1000, AllocsPerOp: 0},
+		"B": {NsPerOp: 1000, AllocsPerOp: 2},
+		"C": {NsPerOp: 1000},
+	}
+	cur := map[string]BenchResult{
+		"A": {NsPerOp: 1100, AllocsPerOp: 0}, // +10%: within the 15% limit
+		"B": {NsPerOp: 900, AllocsPerOp: 3},  // faster but one more alloc
+		"D": {NsPerOp: 9999},                 // new benchmark: no baseline
+	}
+	regs := compareRuns(base, cur, 15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "B") || !strings.Contains(regs[0], "allocs") {
+		t.Fatalf("regressions = %v, want only B's alloc growth", regs)
+	}
+	if regs := compareRuns(base, map[string]BenchResult{"A": {NsPerOp: 1200}}, 15); len(regs) != 1 {
+		t.Fatalf("20%% slowdown not flagged: %v", regs)
+	}
+}
+
+func record(t *testing.T, file, input string, extra ...string) (int, string, string) {
+	t.Helper()
+	args := append([]string{"-out", file}, extra...)
+	var stdout, stderr bytes.Buffer
+	code := run(args, strings.NewReader(input), &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestRecordAppendsTrajectory(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if code, _, stderr := record(t, file, sampleRun, "-sha", "abc1234", "-date", "2026-08-07T00:00:00Z"); code != 0 {
+		t.Fatalf("first record exited %d: %s", code, stderr)
+	}
+	if code, _, stderr := record(t, file, sampleRun, "-sha", "def5678", "-date", "2026-08-07T01:00:00Z", "-compare"); code != 0 {
+		t.Fatalf("identical re-record exited %d: %s", code, stderr)
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trajectory []Entry
+	if err := json.Unmarshal(data, &trajectory); err != nil {
+		t.Fatal(err)
+	}
+	if len(trajectory) != 2 {
+		t.Fatalf("%d entries, want 2", len(trajectory))
+	}
+	if trajectory[0].SHA != "abc1234" || trajectory[1].SHA != "def5678" {
+		t.Errorf("SHAs = %s, %s", trajectory[0].SHA, trajectory[1].SHA)
+	}
+	if trajectory[1].Benchmarks["BenchmarkWelchScratch"].NsPerOp != 234807 {
+		t.Error("benchmark data not preserved")
+	}
+}
+
+// TestGateFailsOnInjectedSlowdown demonstrates the acceptance
+// criterion: a run whose ns/op is inflated past the limit (or whose
+// allocs/op grew at all) must fail the -compare gate and must NOT be
+// appended to the trajectory.
+func TestGateFailsOnInjectedSlowdown(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if code, _, stderr := record(t, file, sampleRun, "-sha", "base", "-compare"); code != 0 {
+		t.Fatalf("baseline record exited %d: %s", code, stderr)
+	}
+
+	// Inject a 2x slowdown into the scratch benchmark.
+	slow := strings.Replace(sampleRun, "50\t     14874 ns/op", "50\t     29748 ns/op", 1)
+	if slow == sampleRun {
+		t.Fatal("slowdown injection did not change the input")
+	}
+	code, _, stderr := record(t, file, slow, "-sha", "slow", "-compare")
+	if code != 1 {
+		t.Fatalf("2x slowdown exited %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "BenchmarkPowerSpectrumScratch1024") || !strings.Contains(stderr, "ns/op") {
+		t.Errorf("regression report missing the slow benchmark: %s", stderr)
+	}
+
+	// Inject an alloc regression: 0 -> 1 allocs/op on the scratch path.
+	leaky := strings.Replace(sampleRun, "0 B/op\t       0 allocs/op", "16 B/op\t       1 allocs/op", 1)
+	code, _, stderr = record(t, file, leaky, "-sha", "leaky", "-compare")
+	if code != 1 {
+		t.Fatalf("alloc growth exited %d, want 1; stderr: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "allocs/op") {
+		t.Errorf("regression report missing alloc growth: %s", stderr)
+	}
+
+	// Neither failing run may have been recorded.
+	var trajectory []Entry
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &trajectory); err != nil {
+		t.Fatal(err)
+	}
+	if len(trajectory) != 1 || trajectory[0].SHA != "base" {
+		t.Fatalf("failed runs were recorded: %d entries", len(trajectory))
+	}
+
+	// A 10% drift stays within the default 15% limit and records.
+	mild := strings.Replace(sampleRun, "50\t     14874 ns/op", "50\t     16361 ns/op", 1)
+	if code, _, stderr := record(t, file, mild, "-sha", "mild", "-compare"); code != 0 {
+		t.Fatalf("10%% drift exited %d: %s", code, stderr)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(nil, strings.NewReader(sampleRun), &stdout, &stderr); code != 2 {
+		t.Errorf("missing -out exited %d, want 2", code)
+	}
+	file := filepath.Join(t.TempDir(), "b.json")
+	if code, _, _ := record(t, file, "no benchmarks here\n"); code != 2 {
+		t.Error("benchless input accepted")
+	}
+	if err := os.WriteFile(file, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := record(t, file, sampleRun); code != 2 {
+		t.Error("corrupt trajectory file accepted")
+	}
+}
+
+func TestEchoOnlyDoesNotWrite(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "b.json")
+	code, stdout, stderr := record(t, file, sampleRun, "-n")
+	if code != 0 {
+		t.Fatalf("exited %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "BenchmarkWelchScratch") {
+		t.Error("parsed benchmarks not echoed")
+	}
+	if _, err := os.Stat(file); !os.IsNotExist(err) {
+		t.Error("-n wrote the trajectory file")
+	}
+}

@@ -14,6 +14,17 @@
 // leaving the campaign Report bit-identical to the serial reference
 // path (fault.SerialSimulate with the same detector).
 //
+// The per-record steady state is a zero-allocation contract, pinned by
+// testing.AllocsPerRun regression tests in dsp and spectest and by the
+// BENCH_dsp.json / BENCH_campaign.json perf trajectories recorded by
+// scripts/check.sh: once a worker's scratch is warm, the record →
+// window → FFT → power spectrum → screen path allocates nothing. The
+// same contract is available outside this engine — spectest.Detector
+// satisfies fault.WorkerDetector, so fault.Simulate and
+// fault.SerialSimulate bind one scratch per pool worker, and
+// dsp.SpectrumScratch carries scratch-backed Welch, Analyze,
+// NoiseFloor and CoherentAverage variants for streaming callers.
+//
 // Two further campaign-level reuses exploit that every batch drives
 // the same stimulus. Record generation is differential: the fault-free
 // machine's net values are captured once per step (digital.Baseline)

@@ -19,13 +19,28 @@ type ToneMeasurement struct {
 	Amplitude float64
 }
 
-// MeasureTone measures the tone nearest frequency f with a ±1 bin
-// leakage spread and returns the measurement.
+// defaultToneSpread is the leakage-skirt half-width, in bins, used for
+// tone measurement under a non-rectangular window when the caller does
+// not choose one. Three bins cover the main lobe of the four-term
+// Blackman-Harris window, the widest in the catalog.
+const defaultToneSpread = 3
+
+// MeasureTone measures the tone nearest frequency f and returns the
+// measurement. Under a rectangular window (coherent sampling) the tone
+// is the single nearest bin; under any other window the measurement
+// sums a ±3 bin leakage skirt and divides by the window's ENBW to
+// undo the skirt's overcount. Callers that need a different spread use
+// AnalyzeSpectrum with an explicit ToneSpread.
 func MeasureTone(s *Spectrum, f float64) ToneMeasurement {
 	spread := 0
 	if s.Window != Rectangular {
-		spread = 3
+		spread = defaultToneSpread
 	}
+	return measureToneSpread(s, f, spread)
+}
+
+// measureToneSpread is MeasureTone with an explicit skirt half-width.
+func measureToneSpread(s *Spectrum, f float64, spread int) ToneMeasurement {
 	p := s.TonePower(f, spread)
 	// Summing a leakage skirt overcounts the tone power by the
 	// window's equivalent noise bandwidth.
@@ -75,18 +90,41 @@ type SpectralAnalysis struct {
 	WorstSpur ToneMeasurement
 }
 
+// ToneSpreadNone requests a zero-bin leakage spread regardless of the
+// window: each tone is exactly its nearest bin, with no ENBW
+// correction. The plain zero value of ToneSpread means "unset" (the
+// window-dependent default applies), so without this sentinel a caller
+// with a non-rectangular window could not express a zero-spread
+// measurement.
+const ToneSpreadNone = -1
+
 // AnalyzeOptions configures Analyze.
 type AnalyzeOptions struct {
 	// Harmonics is how many harmonics of the first fundamental to
 	// classify as distortion (2..Harmonics). Default 5 when zero.
 	Harmonics int
 	// ToneSpread is how many bins on each side of a tone bin belong to
-	// the tone (leakage skirt). Default 0 for Rectangular, 3 otherwise.
+	// the tone (leakage skirt). Zero means unset: 0 for Rectangular, 3
+	// otherwise. Pass ToneSpreadNone to force a zero-bin spread under
+	// any window.
 	ToneSpread int
 	// ExcludeDC controls whether bin 0 (and the spread around it) is
 	// excluded from noise. Offset errors otherwise masquerade as noise.
 	// Default true (set SkipDCExclusion to include DC in noise).
 	SkipDCExclusion bool
+}
+
+// resolveSpread maps the ToneSpread option onto the effective skirt
+// half-width for a spectrum's window.
+func (o AnalyzeOptions) resolveSpread(w WindowType) int {
+	switch {
+	case o.ToneSpread < 0:
+		return 0
+	case o.ToneSpread == 0 && w != Rectangular:
+		return defaultToneSpread
+	default:
+		return o.ToneSpread
+	}
 }
 
 // Analyze computes the standard spectral figures of merit for a real
@@ -107,6 +145,43 @@ func Analyze(x []float64, sampleRate float64, toneFreqs []float64, w WindowType,
 
 // AnalyzeSpectrum is Analyze for a precomputed spectrum.
 func AnalyzeSpectrum(s *Spectrum, toneFreqs []float64, opts AnalyzeOptions) (*SpectralAnalysis, error) {
+	var st analyzeState
+	return st.analyze(s, toneFreqs, opts)
+}
+
+// analyzeState holds the working buffers of one spectral analysis: the
+// result struct with its measurement slices and the per-bin exclusion
+// masks. The package-level AnalyzeSpectrum runs on a fresh state;
+// SpectrumScratch keeps one and reuses it, so both paths execute the
+// same arithmetic in the same order and are bit-identical by
+// construction.
+type analyzeState struct {
+	res  SpectralAnalysis
+	excl []bool
+	fund []bool
+}
+
+// reset sizes the masks for bins bins and clears all reused state.
+func (st *analyzeState) reset(bins int) {
+	if cap(st.excl) < bins {
+		st.excl = make([]bool, bins)
+		st.fund = make([]bool, bins)
+	}
+	st.excl = st.excl[:bins]
+	st.fund = st.fund[:bins]
+	for i := range st.excl {
+		st.excl[i] = false
+		st.fund[i] = false
+	}
+	st.res = SpectralAnalysis{
+		Fundamentals: st.res.Fundamentals[:0],
+		Harmonics:    st.res.Harmonics[:0],
+	}
+}
+
+// analyze computes the figures of merit into the state's buffers. The
+// returned pointer aliases the state and is valid until its next use.
+func (st *analyzeState) analyze(s *Spectrum, toneFreqs []float64, opts AnalyzeOptions) (*SpectralAnalysis, error) {
 	if len(toneFreqs) == 0 {
 		return nil, fmt.Errorf("dsp: AnalyzeSpectrum requires at least one stimulus tone")
 	}
@@ -114,17 +189,14 @@ func AnalyzeSpectrum(s *Spectrum, toneFreqs []float64, opts AnalyzeOptions) (*Sp
 	if nHarm <= 0 {
 		nHarm = 5
 	}
-	spread := opts.ToneSpread
-	if spread == 0 && s.Window != Rectangular {
-		spread = 3
-	}
+	spread := opts.resolveSpread(s.Window)
 
-	res := &SpectralAnalysis{}
-	exclude := make(map[int]bool)
+	st.reset(len(s.Power))
+	res := &st.res
 	markBins := func(k int) {
 		for i := k - spread; i <= k+spread; i++ {
 			if i >= 0 && i < len(s.Power) {
-				exclude[i] = true
+				st.excl[i] = true
 			}
 		}
 	}
@@ -133,7 +205,7 @@ func AnalyzeSpectrum(s *Spectrum, toneFreqs []float64, opts AnalyzeOptions) (*Sp
 	}
 
 	for _, f := range toneFreqs {
-		m := MeasureTone(s, f)
+		m := measureToneSpread(s, f, spread)
 		res.Fundamentals = append(res.Fundamentals, m)
 		res.SignalPower += m.Power
 		markBins(m.Bin)
@@ -144,10 +216,10 @@ func AnalyzeSpectrum(s *Spectrum, toneFreqs []float64, opts AnalyzeOptions) (*Sp
 	for h := 2; h <= nHarm; h++ {
 		fh := AliasFrequency(float64(h)*f1, s.SampleRate)
 		k := s.Bin(fh)
-		if exclude[k] {
+		if k < len(st.excl) && st.excl[k] {
 			continue
 		}
-		m := MeasureTone(s, fh)
+		m := measureToneSpread(s, fh, spread)
 		res.Harmonics = append(res.Harmonics, m)
 		res.DistortionPower += m.Power
 		markBins(k)
@@ -157,17 +229,18 @@ func AnalyzeSpectrum(s *Spectrum, toneFreqs []float64, opts AnalyzeOptions) (*Sp
 	// non-fundamental bins (harmonics count as spurs for SFDR).
 	worstSpurPower := 0.0
 	worstSpurBin := -1
-	fundBins := make(map[int]bool)
 	for _, m := range res.Fundamentals {
 		for i := m.Bin - spread; i <= m.Bin+spread; i++ {
-			fundBins[i] = true
+			if i >= 0 && i < len(st.fund) {
+				st.fund[i] = true
+			}
 		}
 	}
 	for k, p := range s.Power {
-		if !exclude[k] {
+		if !st.excl[k] {
 			res.NoisePower += p
 		}
-		if !fundBins[k] && k != 0 && p > worstSpurPower {
+		if !st.fund[k] && k != 0 && p > worstSpurPower {
 			worstSpurPower = p
 			worstSpurBin = k
 		}
@@ -186,7 +259,12 @@ func AnalyzeSpectrum(s *Spectrum, toneFreqs []float64, opts AnalyzeOptions) (*Sp
 	res.SINAD = DB(safeRatio(res.SignalPower, res.NoisePower+res.DistortionPower))
 	res.SFDR = DB(safeRatio(res.SignalPower, worstSpurPower))
 	res.ENOB = (res.SINAD - 1.76) / 6.02
-	nBins := len(s.Power) - len(exclude)
+	nBins := 0
+	for _, e := range st.excl {
+		if !e {
+			nBins++
+		}
+	}
 	if nBins > 0 && res.NoisePower > 0 {
 		res.NoiseFloorDB = DB(res.NoisePower / float64(nBins) / res.SignalPower)
 	} else {

@@ -227,6 +227,105 @@ func TestMeasureToneWindowedSpread(t *testing.T) {
 	}
 }
 
+// TestMeasureToneENBWCorrection cross-checks the skirt overcount
+// correction on a synthetic on-bin tone: summing the ±3-bin leakage
+// skirt overcounts a unit tone's power by the window's equivalent
+// noise bandwidth, and dividing by ENBW must recover A²/2.
+func TestMeasureToneENBWCorrection(t *testing.T) {
+	n := 1024
+	fs := 1e6
+	f := CoherentBin(fs, n, 100)
+	x := makeTone(n, fs, f, 1, 0, 0)
+	for _, w := range []WindowType{Hann, Hamming, Blackman, BlackmanHarris} {
+		s, err := PowerSpectrum(x, fs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := s.TonePower(f, defaultToneSpread)
+		if r := raw / 0.5; math.Abs(r-s.ENBW)/s.ENBW > 0.01 {
+			t.Errorf("%v: skirt sum overcounts by %g, want ENBW %g", w, r, s.ENBW)
+		}
+		m := MeasureTone(s, f)
+		if math.Abs(m.Power-0.5) > 0.005 {
+			t.Errorf("%v: corrected tone power = %g, want 0.5", w, m.Power)
+		}
+		if math.Abs(m.Amplitude-1) > 0.005 {
+			t.Errorf("%v: corrected amplitude = %g, want 1", w, m.Amplitude)
+		}
+	}
+}
+
+func TestResolveSpread(t *testing.T) {
+	cases := []struct {
+		spread int
+		w      WindowType
+		want   int
+	}{
+		{0, Rectangular, 0},
+		{0, Hann, defaultToneSpread},
+		{0, BlackmanHarris, defaultToneSpread},
+		{ToneSpreadNone, Hann, 0},
+		{ToneSpreadNone, Rectangular, 0},
+		{2, Hann, 2},
+		{2, Rectangular, 2},
+	}
+	for _, c := range cases {
+		opts := AnalyzeOptions{ToneSpread: c.spread}
+		if got := opts.resolveSpread(c.w); got != c.want {
+			t.Errorf("resolveSpread(ToneSpread=%d, %v) = %d, want %d", c.spread, c.w, got, c.want)
+		}
+	}
+}
+
+// TestToneSpreadSentinelCompat pins that introducing ToneSpreadNone
+// changed no existing caller's results: the zero value still means
+// "window default", so opts{} is bit-identical to an explicit
+// ToneSpread of 3 under a windowed spectrum and to ToneSpreadNone
+// under a rectangular one.
+func TestToneSpreadSentinelCompat(t *testing.T) {
+	n := 2048
+	fs := 1e6
+	f1 := CoherentBin(fs, n, 101)
+	f2 := CoherentBin(fs, n, 257)
+	x := makeTwoTone(n, fs, f1, f2, 1, 0.3, 0.01, 17)
+	tones := []float64{f1, f2}
+
+	analyze := func(w WindowType, opts AnalyzeOptions) *SpectralAnalysis {
+		a, err := Analyze(x, fs, tones, w, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+
+	// Windowed: unset == explicit default spread.
+	def := analyze(Hann, AnalyzeOptions{})
+	compareAnalyses(t, "hann unset vs explicit 3",
+		analyze(Hann, AnalyzeOptions{ToneSpread: defaultToneSpread}), def)
+
+	// Rectangular: unset == sentinel (both are zero-spread).
+	rectDef := analyze(Rectangular, AnalyzeOptions{})
+	compareAnalyses(t, "rect unset vs ToneSpreadNone",
+		analyze(Rectangular, AnalyzeOptions{ToneSpread: ToneSpreadNone}), rectDef)
+
+	// The sentinel under a window means exactly "nearest bin, no ENBW
+	// correction" — something the zero value could not express before.
+	s, err := PowerSpectrum(x, fs, Hann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := AnalyzeSpectrum(s, tones, AnalyzeOptions{ToneSpread: ToneSpreadNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := none.Fundamentals[0].Power, s.Power[s.Bin(f1)]; got != want {
+		t.Errorf("sentinel fundamental power = %g, want single bin %g", got, want)
+	}
+	if none.Fundamentals[0].Power >= def.Fundamentals[0].Power {
+		t.Error("zero-spread windowed measurement should undercount the skirted one")
+	}
+}
+
 func BenchmarkAnalyze8192(b *testing.B) {
 	n := 8192
 	fs := 1e6

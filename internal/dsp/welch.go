@@ -2,6 +2,7 @@ package dsp
 
 import (
 	"fmt"
+	"math"
 )
 
 // WelchOptions configures averaged power-spectrum estimation.
@@ -23,19 +24,10 @@ type WelchOptions struct {
 // variance per bin; K averages reduce it by 1/K).
 func Welch(x []float64, sampleRate float64, opts WelchOptions) (*Spectrum, error) {
 	n := opts.SegmentLength
-	if n <= 0 || !IsPowerOfTwo(n) {
-		return nil, fmt.Errorf("dsp: Welch segment length %d must be a power of two", n)
+	if err := checkWelchOptions(n, len(x), opts.Overlap); err != nil {
+		return nil, err
 	}
-	if len(x) < n {
-		return nil, fmt.Errorf("dsp: record %d shorter than segment %d", len(x), n)
-	}
-	if opts.Overlap < 0 || opts.Overlap > 0.9 {
-		return nil, fmt.Errorf("dsp: overlap %g out of [0, 0.9]", opts.Overlap)
-	}
-	step := int(float64(n) * (1 - opts.Overlap))
-	if step < 1 {
-		step = 1
-	}
+	step := welchStep(n, opts.Overlap)
 	var acc *Spectrum
 	segments := 0
 	for start := 0; start+n <= len(x); start += step {
@@ -57,6 +49,34 @@ func Welch(x []float64, sampleRate float64, opts WelchOptions) (*Spectrum, error
 		acc.Power[k] *= inv
 	}
 	return acc, nil
+}
+
+// checkWelchOptions validates the segmentation parameters shared by
+// the allocating and scratch-backed Welch estimators.
+func checkWelchOptions(n, xlen int, overlap float64) error {
+	if n <= 0 || !IsPowerOfTwo(n) {
+		return fmt.Errorf("dsp: Welch segment length %d must be a power of two", n)
+	}
+	if xlen < n {
+		return fmt.Errorf("dsp: record %d shorter than segment %d", xlen, n)
+	}
+	if overlap < 0 || overlap > 0.9 {
+		return fmt.Errorf("dsp: overlap %g out of [0, 0.9]", overlap)
+	}
+	return nil
+}
+
+// welchStep is the hop size between segment starts. Rounding to
+// nearest keeps the realized overlap as close as possible to the
+// requested one: truncation would bias it high (n=512, Overlap=0.6
+// gives step 205, not 204) and lets float error under-step even the
+// exact cases (0.5 overlap must hop exactly n/2).
+func welchStep(n int, overlap float64) int {
+	step := int(math.Round(float64(n) * (1 - overlap)))
+	if step < 1 {
+		step = 1
+	}
+	return step
 }
 
 // CoherentAverage averages K consecutive length-n records sample by

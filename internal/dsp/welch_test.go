@@ -19,6 +19,42 @@ func TestWelchValidation(t *testing.T) {
 	}
 }
 
+// TestWelchStepRounding pins the hop size (and the segment count it
+// implies) for representative (n, overlap) pairs. Before the
+// round-to-nearest fix the step was truncated, so n=512 Overlap=0.6
+// hopped 204 samples (512·0.4 = 204.8000…01 in float64) and realized
+// a higher overlap than requested.
+func TestWelchStepRounding(t *testing.T) {
+	cases := []struct {
+		n       int
+		overlap float64
+		step    int
+		xlen    int // record length for the pinned segment count
+		segs    int
+	}{
+		{512, 0.6, 205, 2552, 10},  // truncation gave step 204 → 11 segments
+		{512, 0.45, 282, 3332, 11}, // truncation gave step 281
+		{512, 0.5, 256, 4096, 15},  // exact: must hop n/2
+		{512, 0, 512, 4096, 8},     // no overlap: disjoint segments
+		{1024, 0.75, 256, 4096, 13},
+		{64, 0.9, 6, 256, 33},
+		{2, 0.9, 1, 8, 7}, // rounds to 0, clamped to 1
+	}
+	for _, c := range cases {
+		if got := welchStep(c.n, c.overlap); got != c.step {
+			t.Errorf("welchStep(%d, %g) = %d, want %d", c.n, c.overlap, got, c.step)
+		}
+		segs := 0
+		for start := 0; start+c.n <= c.xlen; start += welchStep(c.n, c.overlap) {
+			segs++
+		}
+		if segs != c.segs {
+			t.Errorf("n=%d overlap=%g xlen=%d: %d segments, want %d",
+				c.n, c.overlap, c.xlen, segs, c.segs)
+		}
+	}
+}
+
 func TestWelchReducesNoiseVariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(100))
 	n := 1 << 15

@@ -3,6 +3,7 @@ package dsp
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // WindowType selects a tapering window applied before spectral
@@ -95,6 +96,29 @@ func Window(t WindowType, n int) []float64 {
 		panic(fmt.Sprintf("dsp: unknown window type %d", int(t)))
 	}
 	return w
+}
+
+// windowCache shares computed window tables between scratches, keyed
+// by (type, length). Cached tables are treated as immutable — they are
+// only ever read — so many worker scratches of the same shape pay for
+// one cosine-series evaluation between them. Window() still returns a
+// fresh slice; only internal scratch construction uses the cache.
+var windowCache sync.Map // windowKey -> []float64
+
+type windowKey struct {
+	t WindowType
+	n int
+}
+
+// sharedWindow returns the process-wide cached window table for
+// (t, n). The returned slice must not be modified.
+func sharedWindow(t WindowType, n int) []float64 {
+	if v, ok := windowCache.Load(windowKey{t, n}); ok {
+		return v.([]float64)
+	}
+	w := Window(t, n)
+	actual, _ := windowCache.LoadOrStore(windowKey{t, n}, w)
+	return actual.([]float64)
 }
 
 // ApplyWindow multiplies x element-wise by the window coefficients and

@@ -149,6 +149,40 @@ type Detector interface {
 	Detect(good, faulty []int64) (bool, error)
 }
 
+// WorkerDetector is implemented by detectors that keep reusable
+// per-goroutine scratch state (spectest.Detector is the one in-tree):
+// NewWorkerDetect returns a Detect-shaped function bound to a fresh
+// scratch for exclusive use by one worker goroutine, with verdicts
+// bit-identical to Detect's. Simulate and SerialSimulate detect
+// through it when available, so the per-record spectral path allocates
+// nothing in steady state instead of rebuilding window tables and FFT
+// buffers per fault.
+type WorkerDetector interface {
+	Detector
+	NewWorkerDetect() (func(good, faulty []int64) (bool, error), error)
+}
+
+// detectFunc adapts a bound worker-detect function back into the
+// Detector interface the batch code consumes.
+type detectFunc func(good, faulty []int64) (bool, error)
+
+// Detect implements Detector.
+func (f detectFunc) Detect(good, faulty []int64) (bool, error) { return f(good, faulty) }
+
+// workerDetector returns a detector for one worker goroutine: a
+// scratch-bound instance when det supports it, det itself otherwise.
+func workerDetector(det Detector) (Detector, error) {
+	wd, ok := det.(WorkerDetector)
+	if !ok {
+		return det, nil
+	}
+	fn, err := wd.NewWorkerDetect()
+	if err != nil {
+		return nil, err
+	}
+	return detectFunc(fn), nil
+}
+
 // ExactDetector declares a fault detected when any output sample
 // differs by more than Threshold LSBs (0 = any difference). This is
 // the classical known-input, known-output digital test assumption.
@@ -194,9 +228,11 @@ func DiffStats(good, faulty []int64) (firstDiff int, maxAbs int64) {
 	return firstDiff, maxAbs
 }
 
-// runBatches runs fn(batch) for every batch in [0, nBatches) on a
-// bounded pool of at most `workers` goroutines and returns the first
-// error in batch order. Unlike the seed implementation — which spawned
+// runBatches runs fn(worker, batch) for every batch in [0, nBatches)
+// on a bounded pool of at most `workers` goroutines and returns the
+// first error in batch order. The worker index (0 ≤ worker < workers)
+// identifies the claiming goroutine so callers can hand each worker
+// exclusive scratch state. Unlike the seed implementation — which spawned
 // every batch goroutine up front and only then gated them on a
 // semaphore, and whose error channel surfaced whichever failing batch
 // lost the race — the pool never holds more than `workers` goroutines
@@ -210,7 +246,7 @@ func DiffStats(good, faulty []int64) (firstDiff int, maxAbs int64) {
 // resilient.ErrCanceled/ErrDeadline is returned (batch errors win).
 // Worker goroutines run under resilient.Go, so a panic escaping fn's
 // own guards degrades to a returned error, never a process crash.
-func runBatches(ctx context.Context, nBatches, workers int, fn func(batch int) error) error {
+func runBatches(ctx context.Context, nBatches, workers int, fn func(worker, batch int) error) error {
 	if nBatches <= 0 {
 		return nil
 	}
@@ -233,6 +269,7 @@ func runBatches(ctx context.Context, nBatches, workers int, fn func(batch int) e
 		atomic.StoreInt32(&failed, 1)
 	}
 	for w := 0; w < workers; w++ {
+		worker := w
 		resilient.Go(&wg, "fault.worker", func() error {
 			for {
 				b := int(atomic.AddInt64(&next, 1))
@@ -245,7 +282,7 @@ func runBatches(ctx context.Context, nBatches, workers int, fn func(batch int) e
 				if ctx.Err() != nil {
 					return nil
 				}
-				if err := fn(b); err != nil {
+				if err := fn(worker, b); err != nil {
 					errs[b] = err
 					atomic.StoreInt32(&failed, 1)
 				}
@@ -347,6 +384,21 @@ func SimulateOpts(ctx context.Context, u *Universe, xs []int64, det Detector, op
 		workers = runtime.GOMAXPROCS(0)
 	}
 	nf := len(u.Faults)
+	nWorkerDets := (nf + 62) / 63 // batches; runBatches clamps workers the same way
+	if nWorkerDets > workers {
+		nWorkerDets = workers
+	}
+	// One detector per pool worker: scratch-backed when the detector
+	// supports it (the spectral record → spectrum → screen path is then
+	// allocation-free in steady state), det itself otherwise.
+	workerDets := make([]Detector, nWorkerDets)
+	for w := range workerDets {
+		d, err := workerDetector(det)
+		if err != nil {
+			return nil, err
+		}
+		workerDets[w] = d
+	}
 	results := make([]Result, nf)
 	// Prefill the fault identity so partial (canceled) and quarantined
 	// entries still say WHICH fault they cover.
@@ -433,7 +485,7 @@ func SimulateOpts(ctx context.Context, u *Universe, xs []int64, det Detector, op
 		defer sp.End()
 	}
 	var quarantined int64
-	err := runBatches(ctx, nBatches, workers, func(batch int) error {
+	err := runBatches(ctx, nBatches, workers, func(worker, batch int) error {
 		if doneAtLoad != nil && doneAtLoad[batch] {
 			return nil // restored from the checkpoint ledger
 		}
@@ -442,7 +494,7 @@ func SimulateOpts(ctx context.Context, u *Universe, xs []int64, det Detector, op
 			if err := resilient.Fire(fpBatch); err != nil {
 				return err
 			}
-			return simulateBatch(u, xs, det, results[lo:hi], u.Faults[lo:hi])
+			return simulateBatch(u, xs, workerDets[worker], results[lo:hi], u.Faults[lo:hi])
 		})
 		if err != nil {
 			var pe *resilient.PanicError
@@ -591,6 +643,13 @@ func SerialSimulate(u *Universe, xs []int64, det Detector) (*Report, error) {
 	if det == nil {
 		return nil, fmt.Errorf("fault: nil detector")
 	}
+	// The serial reference path detects through the same scratch-bound
+	// function the pool workers use, so its verdicts — bit-identical by
+	// the WorkerDetector contract — are also allocation-free per fault.
+	det, err := workerDetector(det)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]Result, len(u.Faults))
 	sim := digital.NewFIRSim(u.FIR)
 	goodRec, err := sim.RunPeriodic(xs)
@@ -669,7 +728,7 @@ func detectOnlyOnePass(u *Universe, xs, warmSrc []int64) ([]bool, error) {
 	detected := make([]bool, nf)
 	const lanesPerBatch = 63
 	nBatches := (nf + lanesPerBatch - 1) / lanesPerBatch
-	err := runBatches(context.Background(), nBatches, runtime.GOMAXPROCS(0), func(batch int) error {
+	err := runBatches(context.Background(), nBatches, runtime.GOMAXPROCS(0), func(_, batch int) error {
 		lo := batch * lanesPerBatch
 		hi := lo + lanesPerBatch
 		if hi > nf {

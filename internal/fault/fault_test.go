@@ -152,7 +152,7 @@ func TestRunBatchesFirstErrorByBatchOrder(t *testing.T) {
 	for trial := 0; trial < 25; trial++ {
 		var live int32
 		var peak int32
-		err := runBatches(context.Background(), 16, 4, func(b int) error {
+		err := runBatches(context.Background(), 16, 4, func(_, b int) error {
 			n := atomic.AddInt32(&live, 1)
 			for {
 				p := atomic.LoadInt32(&peak)
@@ -179,16 +179,109 @@ func TestRunBatchesFirstErrorByBatchOrder(t *testing.T) {
 			t.Fatalf("trial %d: %d batch goroutines live at once; pool must be bounded at 4", trial, p)
 		}
 	}
-	if err := runBatches(context.Background(), 0, 4, func(int) error { return errors.New("never") }); err != nil {
+	if err := runBatches(context.Background(), 0, 4, func(int, int) error { return errors.New("never") }); err != nil {
 		t.Errorf("zero batches returned %v", err)
 	}
 	// More workers than batches must not deadlock or skip work.
 	var ran int32
-	if err := runBatches(context.Background(), 3, 64, func(int) error { atomic.AddInt32(&ran, 1); return nil }); err != nil {
+	if err := runBatches(context.Background(), 3, 64, func(int, int) error { atomic.AddInt32(&ran, 1); return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if ran != 3 {
 		t.Errorf("ran %d batches, want 3", ran)
+	}
+}
+
+// countingWorkerDetector wraps ExactDetector with WorkerDetector
+// bookkeeping so tests can prove the campaign detects through the
+// per-worker bound functions rather than the shared Detect.
+type countingWorkerDetector struct {
+	base        ExactDetector
+	newErr      error
+	newCalls    atomic.Int64
+	boundCalls  atomic.Int64
+	directCalls atomic.Int64
+}
+
+func (d *countingWorkerDetector) Detect(good, faulty []int64) (bool, error) {
+	d.directCalls.Add(1)
+	return d.base.Detect(good, faulty)
+}
+
+func (d *countingWorkerDetector) NewWorkerDetect() (func(good, faulty []int64) (bool, error), error) {
+	if d.newErr != nil {
+		return nil, d.newErr
+	}
+	d.newCalls.Add(1)
+	return func(good, faulty []int64) (bool, error) {
+		d.boundCalls.Add(1)
+		return d.base.Detect(good, faulty)
+	}, nil
+}
+
+func TestSimulateUsesWorkerDetectors(t *testing.T) {
+	fir := smallFIR(t)
+	u := NewUniverse(fir, true)
+	xs := sineRecord(64, 28, 5)
+	want, err := Simulate(context.Background(), u, xs, ExactDetector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string, cd *countingWorkerDetector, rep *Report, wantNew int64) {
+		t.Helper()
+		if len(rep.Results) != len(want.Results) {
+			t.Fatalf("%s: result count mismatch", label)
+		}
+		for i := range want.Results {
+			if rep.Results[i].Detected != want.Results[i].Detected {
+				t.Fatalf("%s: fault %v verdict differs from plain ExactDetector",
+					label, rep.Results[i].Fault)
+			}
+		}
+		if cd.newCalls.Load() != wantNew {
+			t.Errorf("%s: NewWorkerDetect called %d times, want %d", label, cd.newCalls.Load(), wantNew)
+		}
+		if cd.boundCalls.Load() == 0 {
+			t.Errorf("%s: no detection went through the bound worker function", label)
+		}
+		if cd.directCalls.Load() != 0 {
+			t.Errorf("%s: %d detections bypassed the worker scratch path", label, cd.directCalls.Load())
+		}
+	}
+
+	cd := &countingWorkerDetector{}
+	rep, err := SimulateOpts(context.Background(), u, xs, cd, SimOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One bound detector per pool worker, clamped to the batch count.
+	wantDets := int64((len(u.Faults) + 62) / 63)
+	if wantDets > 2 {
+		wantDets = 2
+	}
+	check("parallel", cd, rep, wantDets)
+
+	cd = &countingWorkerDetector{}
+	ser, err := SerialSimulate(u, xs, cd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("serial", cd, ser, 1)
+}
+
+func TestWorkerDetectorSetupErrorPropagates(t *testing.T) {
+	fir := smallFIR(t)
+	u := NewUniverse(fir, true)
+	xs := sineRecord(64, 28, 5)
+	cd := &countingWorkerDetector{newErr: errors.New("scratch build failed")}
+	if _, err := Simulate(context.Background(), u, xs, cd); err == nil || !strings.Contains(err.Error(), "scratch build failed") {
+		t.Errorf("Simulate swallowed the setup error: %v", err)
+	}
+	if _, err := SerialSimulate(u, xs, cd); err == nil || !strings.Contains(err.Error(), "scratch build failed") {
+		t.Errorf("SerialSimulate swallowed the setup error: %v", err)
+	}
+	if cd.boundCalls.Load() != 0 || cd.directCalls.Load() != 0 {
+		t.Error("detection ran despite the setup failure")
 	}
 }
 

@@ -293,8 +293,29 @@ func (d *Detector) DetectRecord(rec []int64, sc *Scratch) (bool, error) {
 // threshold in at least one compared bin. The good record passed by
 // the fault simulator is ignored — the reference is the ideal-input
 // good circuit, as in the paper's methodology.
+//
+// This entry point allocates its spectrum temporaries per call; engines
+// that detect in a loop use NewWorkerDetect (fault.Simulate and the
+// campaign engine pick it up automatically) for the allocation-free
+// path.
 func (d *Detector) Detect(good, faulty []int64) (bool, error) {
 	return d.DetectRecord(faulty, nil)
+}
+
+// NewWorkerDetect returns a Detect-shaped function bound to a fresh
+// per-worker Scratch, satisfying fault.WorkerDetector: verdicts are
+// bit-identical to Detect's, but the record → window → FFT → power-
+// spectrum → screen path reuses one buffer set and allocates nothing
+// in steady state. The returned function is not safe for concurrent
+// use — it owns its scratch; call NewWorkerDetect once per goroutine.
+func (d *Detector) NewWorkerDetect() (func(good, faulty []int64) (bool, error), error) {
+	sc, err := d.NewScratch()
+	if err != nil {
+		return nil, err
+	}
+	return func(good, faulty []int64) (bool, error) {
+		return d.DetectRecord(faulty, sc)
+	}, nil
 }
 
 // ComparedBins returns how many spectrum bins participate in the

@@ -265,6 +265,89 @@ func TestScratchPathBitIdentical(t *testing.T) {
 	}
 }
 
+// The spectral detector must satisfy fault.WorkerDetector so campaigns
+// bind one scratch per pool worker — structurally, without spectest
+// importing fault.
+var _ fault.WorkerDetector = (*Detector)(nil)
+
+func TestNewWorkerDetectBitIdentical(t *testing.T) {
+	fir, ideal, goodIdeal, goodNoisy, tones, fs := buildFilterAndRecords(t, 512)
+	det, err := NewDetector(goodIdeal, fs, tones, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.CalibrateFloor(goodNoisy, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	detect, err := det.NewWorkerDetect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := [][]int64{goodNoisy, goodIdeal}
+	for bit := 0; bit < 3; bit++ {
+		sim := digital.NewFIRSim(fir)
+		if err := sim.InjectFault(netlist.Fault{Net: fir.OutBus[bit], Stuck: netlist.StuckAt1}, ^uint64(0)); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := sim.RunPeriodic(ideal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		records = append(records, rec)
+	}
+	for i, rec := range records {
+		want, err := det.Detect(goodIdeal, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := detect(goodIdeal, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("record %d: worker verdict %v != Detect verdict %v", i, got, want)
+		}
+	}
+}
+
+// TestDetectRecordAllocFree pins the campaign's per-record steady
+// state: with a worker scratch bound, the record → spectrum → screen
+// path performs zero allocations per fault.
+func TestDetectRecordAllocFree(t *testing.T) {
+	_, _, goodIdeal, goodNoisy, tones, fs := buildFilterAndRecords(t, 512)
+	det, err := NewDetector(goodIdeal, fs, tones, 2, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := det.CalibrateFloor(goodNoisy, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := det.NewScratch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := det.DetectRecord(goodNoisy, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("scratch DetectRecord allocates %.1f objects per call, want 0", allocs)
+	}
+	detect, err := det.NewWorkerDetect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		if _, err := detect(goodIdeal, goodNoisy); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("bound worker detect allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
 func TestDetectorConcurrentDetection(t *testing.T) {
 	// A calibrated detector is shared read-only by the campaign pool;
 	// this must be race-free (run under -race) and verdict-stable.

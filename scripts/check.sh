@@ -1,10 +1,14 @@
 #!/bin/sh
-# Pre-merge gate: vet, build, race-enabled tests, and a short smoke of
-# the spectral-campaign benchmark pair (3 iterations each — enough to
-# catch a broken pipeline or a report mismatch, not a perf measurement;
-# run the pair with a larger -benchtime for real numbers).
+# Pre-merge gate: vet, build, race-enabled tests, bench smokes, and
+# the recorded perf trajectory — the dsp scratch pairs and the
+# spectral-campaign pair are benchmarked, gated against the last entry
+# of BENCH_dsp.json / BENCH_campaign.json (cmd/benchrecord), and
+# appended on success.
 set -eu
 cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
 
 echo "== gofmt =="
 # Everything outside testdata must be gofmt-clean (fixtures include a
@@ -53,8 +57,6 @@ echo "== kill-and-resume smoke (E6 -checkpoint, SIGKILL, -resume, diff) =="
 # an uninterrupted baseline. Whatever instant the kill lands (before
 # the first snapshot, mid-run, or after completion), bit-identity must
 # hold — that is the checkpoint/resume contract.
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/experiments" ./cmd/experiments
 "$tmp/experiments" -table2 -quick -workers 1 >"$tmp/base.txt" 2>/dev/null
 "$tmp/experiments" -table2 -quick -workers 1 \
@@ -72,9 +74,6 @@ echo "== golden diff (E6 Table 2) =="
 # with: go test ./internal/experiments -run Table2Golden -update
 go test -count=1 ./internal/experiments -run 'Table2Golden'
 
-echo "== bench smoke (spectral campaign pair) =="
-go test -run '^$' -bench 'BenchmarkSpectralCampaign' -benchtime 3x .
-
 echo "== bench smoke (MC losses pair) =="
 go test -run '^$' -bench 'BenchmarkMCLosses' -benchtime 3x .
 
@@ -82,6 +81,30 @@ echo "== bench smoke (obs off/on pairs) =="
 # The Off legs must track the uninstrumented baselines above within
 # noise — the nil-registry fast path is a hard contract (DESIGN.md §8).
 go test -run '^$' -bench 'BenchmarkCampaignObs|BenchmarkMCObs' -benchtime 3x .
+
+echo "== bench record + regression gate (dsp scratch pairs) =="
+# Run the allocating/scratch benchmark pairs and append the numbers to
+# the BENCH_*.json perf trajectories. -compare first gates the run
+# against the last recorded entry: any allocs/op growth fails, and so
+# does ns/op drift beyond -max-ns-regress (25% here — the tool default
+# is 15%, but shared CI machines need the extra noise headroom; the
+# allocs/op gate is exact either way). The commit SHA and timestamp are
+# passed in so the recorder itself reads no clock. On a regression the
+# gate prints the offending benchmarks and leaves the trajectory
+# untouched; fix the code or deliberately re-baseline by deleting the
+# last entry.
+sha=$(git rev-parse --short HEAD)
+now=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+go test -run '^$' -bench 'Allocating|Scratch' -benchmem -benchtime 500ms \
+    ./internal/dsp >"$tmp/bench_dsp.txt"
+go run ./cmd/benchrecord -out BENCH_dsp.json -sha "$sha" -date "$now" \
+    -compare -max-ns-regress 25 <"$tmp/bench_dsp.txt"
+
+echo "== bench record + regression gate (spectral campaign pair) =="
+go test -run '^$' -bench 'BenchmarkSpectralCampaign' -benchmem -benchtime 3x \
+    . >"$tmp/bench_campaign.txt"
+go run ./cmd/benchrecord -out BENCH_campaign.json -sha "$sha" -date "$now" \
+    -compare -max-ns-regress 25 <"$tmp/bench_campaign.txt"
 
 echo "== fuzz smoke (netlist parser) =="
 # Ten seconds of coverage-guided fuzzing on top of the checked-in seed
