@@ -172,10 +172,20 @@ func parseBench(r io.Reader) (map[string]BenchResult, error) {
 }
 
 // compareRuns returns one human-readable line per regression of cur
-// against base. Benchmarks present in only one run are skipped: the
-// gate guards drift on the common set, renames re-baseline themselves.
+// against base. New benchmarks (in cur only) baseline themselves, but
+// a benchmark that was in the last entry and is missing from cur is a
+// gate failure: a silently dropped benchmark would retire its
+// regression coverage without anyone deciding to (a rename must
+// re-baseline deliberately, by recording without -compare).
 func compareRuns(base, cur map[string]BenchResult, maxNsPct float64) []string {
 	var regressions []string
+	for _, name := range sortedKeys(base) {
+		if _, inCur := cur[name]; !inCur {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: present in baseline but missing from this run (deleted or renamed? re-baseline without -compare)",
+				name))
+		}
+	}
 	for _, name := range sortedKeys(cur) {
 		b, inBase := base[name]
 		if !inBase {

@@ -67,14 +67,68 @@ func TestCompareRuns(t *testing.T) {
 	cur := map[string]BenchResult{
 		"A": {NsPerOp: 1100, AllocsPerOp: 0}, // +10%: within the 15% limit
 		"B": {NsPerOp: 900, AllocsPerOp: 3},  // faster but one more alloc
+		"C": {NsPerOp: 1000},                 // unchanged
 		"D": {NsPerOp: 9999},                 // new benchmark: no baseline
 	}
 	regs := compareRuns(base, cur, 15)
 	if len(regs) != 1 || !strings.Contains(regs[0], "B") || !strings.Contains(regs[0], "allocs") {
 		t.Fatalf("regressions = %v, want only B's alloc growth", regs)
 	}
-	if regs := compareRuns(base, map[string]BenchResult{"A": {NsPerOp: 1200}}, 15); len(regs) != 1 {
-		t.Fatalf("20%% slowdown not flagged: %v", regs)
+	// A 20% slowdown plus B and C missing from the run: three gates.
+	if regs := compareRuns(base, map[string]BenchResult{"A": {NsPerOp: 1200}}, 15); len(regs) != 3 {
+		t.Fatalf("slowdown+missing not fully flagged: %v", regs)
+	}
+}
+
+// TestCompareRunsMissingBenchmark pins the gate on disappearing
+// benchmarks: a name in the last entry that is absent from the new run
+// must fail the comparison, not silently retire its coverage.
+func TestCompareRunsMissingBenchmark(t *testing.T) {
+	base := map[string]BenchResult{
+		"A": {NsPerOp: 1000},
+		"B": {NsPerOp: 2000, AllocsPerOp: 1},
+	}
+	cur := map[string]BenchResult{
+		"A": {NsPerOp: 1000},
+	}
+	regs := compareRuns(base, cur, 15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "B") || !strings.Contains(regs[0], "missing") {
+		t.Fatalf("missing benchmark not flagged: %v", regs)
+	}
+	// Everything missing: every baseline name is reported.
+	if regs := compareRuns(base, map[string]BenchResult{}, 15); len(regs) != 2 {
+		t.Fatalf("want 2 missing regressions, got %v", regs)
+	}
+}
+
+// TestGateFailsOnMissingBenchmark drives the full record pipeline: a
+// -compare run whose input dropped a previously recorded benchmark
+// must exit 1 and record nothing.
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if code, _, stderr := record(t, file, sampleRun, "-sha", "abc1234", "-date", "2026-08-07T00:00:00Z"); code != 0 {
+		t.Fatalf("baseline record exited %d: %s", code, stderr)
+	}
+	// Same run minus WelchScratch.
+	dropped := strings.ReplaceAll(sampleRun,
+		"BenchmarkWelchScratch                	      50	    234807 ns/op	      97 B/op	       0 allocs/op\n", "")
+	code, _, stderr := record(t, file, dropped, "-sha", "def5678", "-date", "2026-08-07T01:00:00Z", "-compare")
+	if code != 1 {
+		t.Fatalf("missing benchmark passed the gate (exit %d): %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "BenchmarkWelchScratch") || !strings.Contains(stderr, "missing") {
+		t.Fatalf("gate message does not name the missing benchmark: %s", stderr)
+	}
+	var entries []Entry
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("failed gate still recorded an entry (%d total)", len(entries))
 	}
 }
 

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServerClientRoundTrip boots the real binary entry point (run)
+// on a free port, drives it with the client mode, and shuts it down
+// with SIGTERM — the same lifecycle scripts/check.sh smokes.
+func TestServerClientRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	ready := make(chan string, 1)
+	var srvErr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-workers", "1",
+		}, &bytes.Buffer{}, &srvErr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never came up: %s", srvErr.String())
+	}
+	if raw, err := os.ReadFile(addrFile); err != nil || strings.TrimSpace(string(raw)) != addr {
+		t.Fatalf("addr-file %q err %v, want %q", raw, err, addr)
+	}
+
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-connect", addr,
+		"-submit", `{"kind":"translate","param":"IIP3","samples":4096,"batch_size":512}`,
+		"-tenant", "smoke", "-wait",
+	}, &out, &errb, nil)
+	if code != 0 {
+		t.Fatalf("client exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "referral error mixer-iip3") {
+		t.Fatalf("client output %q", out.String())
+	}
+
+	// Identical resubmission must be reported as a cache hit.
+	out.Reset()
+	errb.Reset()
+	code = run([]string{
+		"-connect", addr,
+		"-submit", `{"kind":"translate","param":"mixer-iip3","samples":4096,"batch_size":512}`,
+		"-wait",
+	}, &out, &errb, nil)
+	if code != 0 {
+		t.Fatalf("client resubmit exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "served from cache") {
+		t.Fatalf("resubmission not served from cache: %s", errb.String())
+	}
+
+	// Bad spec: usage-level client failure, typed body relayed.
+	code = run([]string{
+		"-connect", addr, "-submit", `{"kind":"nope"}`, "-wait",
+	}, &out, &errb, nil)
+	if code != 1 || !strings.Contains(errb.String(), "bad_request") {
+		t.Fatalf("bad spec: exit %d, stderr %s", code, errb.String())
+	}
+
+	// SIGTERM stops the server cleanly.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("server exit %d: %s", code, srvErr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never stopped: %s", srvErr.String())
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("prod=3, batch=1")
+	if err != nil || w["prod"] != 3 || w["batch"] != 1 {
+		t.Fatalf("parseWeights: %v %v", w, err)
+	}
+	if _, err := parseWeights("prod"); err == nil {
+		t.Fatal("missing = accepted")
+	}
+	if _, err := parseWeights("prod=0"); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if w, err := parseWeights(""); err != nil || w != nil {
+		t.Fatalf("empty weights: %v %v", w, err)
+	}
+}
+
+func TestClientUsageErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-connect", "127.0.0.1:1"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("-connect without -submit: exit %d", code)
+	}
+	if code := run([]string{"stray"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("stray args: exit %d", code)
+	}
+	if code := run([]string{"-weights", "x"}, &out, &errb, nil); code != 2 {
+		t.Fatalf("bad weights: exit %d", code)
+	}
+}

@@ -227,12 +227,14 @@ func (e *Engine) Run(ctx context.Context, xs []int64) (*fault.Report, *Stats, er
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	// Observability: resolve every handle once per run. With no
-	// registry installed (the default) all handles are nil, every use
-	// below is a nil-receiver no-op, and none of the timing branches
-	// take a clock reading — the disabled path is benchmarked to stay
-	// within noise of the uninstrumented engine.
-	reg := obs.Default()
+	// Observability: resolve every handle once per run, preferring a
+	// registry carried by ctx (a job server records each job into its
+	// own span ring) over the process default. With neither installed
+	// all handles are nil, every use below is a nil-receiver no-op, and
+	// none of the timing branches take a clock reading — the disabled
+	// path is benchmarked to stay within noise of the uninstrumented
+	// engine.
+	reg := obs.For(ctx)
 	var (
 		runCtx      context.Context
 		runSp       *obs.SpanHandle
@@ -306,7 +308,7 @@ func (e *Engine) Run(ctx context.Context, xs []int64) (*fault.Report, *Stats, er
 	if ckName == "" {
 		ckName = "campaign"
 	}
-	stimHash := hashRecord(xs)
+	stimHash := HashRecord(xs)
 	var (
 		ledgerMu   sync.Mutex
 		done       []bool
@@ -527,7 +529,7 @@ func (e *Engine) Run(ctx context.Context, xs []int64) (*fault.Report, *Stats, er
 						}
 						var h uint64
 						if memo != nil {
-							h = hashRecord(rec)
+							h = HashRecord(rec)
 							if d, ok := memo.lookup(h, rec); ok {
 								res.Detected = d
 								bMemoized++
@@ -671,9 +673,12 @@ func newMemoTable() *memoTable {
 	return &memoTable{buckets: make(map[uint64][]memoEntry)}
 }
 
-// hashRecord is FNV-1a over the record words; collisions are fine
-// (lookup compares records in full) so word granularity suffices.
-func hashRecord(rec []int64) uint64 {
+// HashRecord is FNV-1a over the record words. It doubles as the
+// engine-facing stimulus identity: checkpoint validation and the
+// service layer's content-addressed result cache key off it. For the
+// in-memory memo table collisions are fine (lookup compares records in
+// full), so word granularity suffices.
+func HashRecord(rec []int64) uint64 {
 	h := uint64(14695981039346656037)
 	for _, v := range rec {
 		h ^= uint64(v)

@@ -478,7 +478,7 @@ func SimulateOpts(ctx context.Context, u *Universe, xs []int64, det Detector, op
 
 	// Observability: one span and three counter bumps per campaign —
 	// all no-ops when no registry is installed.
-	reg := obs.Default()
+	reg := obs.For(ctx)
 	var sp *obs.SpanHandle
 	if reg != nil {
 		_, sp = reg.Span(ctx, "fault.simulate")

@@ -225,11 +225,13 @@ func Run[T, P any](ctx context.Context, n int, seed int64, opts Options, total T
 		}
 	}
 
-	// Observability: handles resolved once per run, all nil (and every
-	// use a no-op) when no registry is installed. Instrumentation is
+	// Observability: handles resolved once per run — the registry
+	// carried by ctx when there is one (per-job rings in the job
+	// server), otherwise the process default — and all nil (every use
+	// a no-op) when neither is installed. Instrumentation is
 	// read-only — it can never change the merged result, which stays
 	// bit-identical for any worker count.
-	reg := obs.Default()
+	reg := obs.For(ctx)
 	var (
 		runSp       *obs.SpanHandle
 		barrierHist *obs.Histogram

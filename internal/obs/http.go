@@ -8,23 +8,18 @@ import (
 	"time"
 )
 
-// ServeDebug exposes the registry and the runtime profiler over HTTP:
+// RegisterDebug mounts the observability endpoints on the caller's
+// mux:
 //
 //	/metrics      — Prometheus text exposition (WriteText)
 //	/trace        — recent-span run report (WriteTrace)
 //	/debug/pprof/ — net/http/pprof index, profile, symbol, trace
 //
-// It binds addr immediately (so ":0" callers learn the real port from
-// the returned listen address) and serves in a background goroutine
-// until the process exits or the returned shutdown func is called.
-// The handler mux is private — installing pprof here does not touch
-// http.DefaultServeMux.
-func ServeDebug(addr string, r *Registry) (listenAddr string, shutdown func(), err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, fmt.Errorf("obs: debug listener: %w", err)
-	}
-	mux := http.NewServeMux()
+// This is how a service embeds the ops surface into its own API mux
+// (mstxd serves /metrics next to /v1/jobs); ServeDebug is the
+// standalone-listener convenience built on top of it. Installing pprof
+// here does not touch http.DefaultServeMux.
+func RegisterDebug(mux *http.ServeMux, r *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = r.WriteText(w)
@@ -38,6 +33,20 @@ func ServeDebug(addr string, r *Registry) (listenAddr string, shutdown func(), e
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeDebug exposes the registry and the runtime profiler over HTTP
+// on a dedicated listener (see RegisterDebug for the endpoints). It
+// binds addr immediately (so ":0" callers learn the real port from
+// the returned listen address) and serves in a background goroutine
+// until the process exits or the returned shutdown func is called.
+func ServeDebug(addr string, r *Registry) (listenAddr string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	RegisterDebug(mux, r)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), func() { _ = srv.Close() }, nil

@@ -23,6 +23,7 @@
 package obs
 
 import (
+	"context"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,19 @@ func SetDefault(r *Registry) { defaultReg.Store(r) }
 // Default returns the installed registry, or nil when observability
 // is disabled. Callers must tolerate nil — that is the fast path.
 func Default() *Registry { return defaultReg.Load() }
+
+// For resolves the registry an instrumented run should record into:
+// the one carried by ctx (WithRegistry), or, failing that, the process
+// default. It returns nil when neither is installed — callers must
+// tolerate nil, exactly as with Default. The context lookup is what
+// lets a job server give every job its own registry (and span ring)
+// while batch CLIs keep using the process-wide one.
+func For(ctx context.Context) *Registry {
+	if r := FromContext(ctx); r != nil {
+		return r
+	}
+	return Default()
+}
 
 // Counter returns the named counter, creating it on first use. On a
 // nil registry it returns a nil handle whose methods are no-ops.
@@ -205,6 +219,18 @@ func (g *Gauge) Value() float64 {
 		return 0
 	}
 	return math.Float64frombits(g.bits.Load())
+}
+
+// Counters returns a point-in-time snapshot of every counter's value
+// by name. Nil-safe (nil map on a nil registry). Streaming consumers
+// (the job server's SSE progress events) diff successive snapshots to
+// report engine progress without knowing the metric names up front.
+func (r *Registry) Counters() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	_, vals := r.snapshotCounters()
+	return vals
 }
 
 // snapshotNames returns the sorted metric names of one kind; callers

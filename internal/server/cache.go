@@ -1,0 +1,79 @@
+package server
+
+import "sync"
+
+// resultCache is the content-addressed result store with single-flight
+// compute. Keys are the job identity hash (FNV-1a over the canonical
+// spec, mixed with the engine's stimulus record hash for campaigns) —
+// the same identity family the checkpoint layer uses to validate
+// snapshots. Only successful results are cached: a failed or canceled
+// job must not poison identical resubmissions.
+//
+// begin/succeed/fail implement single-flight: the first job to present
+// an identity becomes the leader and computes; concurrent identical
+// submissions become followers and block on the leader's outcome
+// instead of re-running the engine. A leader that fails wakes its
+// followers without publishing; each re-runs begin, so exactly one
+// claims the vacated leadership and retries while the rest wait again.
+type resultCache struct {
+	mu       sync.Mutex
+	results  map[uint64]*Result
+	inflight map[uint64]*flight
+}
+
+type flight struct {
+	done chan struct{} // closed on completion (success or failure)
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{
+		results:  make(map[uint64]*Result),
+		inflight: make(map[uint64]*flight),
+	}
+}
+
+// lookup returns a previously cached successful result.
+func (c *resultCache) lookup(id uint64) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.results[id]
+	return r, ok
+}
+
+// begin claims id. leader=true means the caller must compute and then
+// call succeed or fail; otherwise wait is a channel that closes when
+// the current leader finishes (re-check with lookup / begin after).
+func (c *resultCache) begin(id uint64) (leader bool, cached *Result, wait <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.results[id]; ok {
+		return false, r, nil
+	}
+	if f, ok := c.inflight[id]; ok {
+		return false, nil, f.done
+	}
+	c.inflight[id] = &flight{done: make(chan struct{})}
+	return true, nil, nil
+}
+
+// succeed publishes the leader's result and releases all followers.
+func (c *resultCache) succeed(id uint64, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.results[id] = res
+	if f, ok := c.inflight[id]; ok {
+		close(f.done)
+		delete(c.inflight, id)
+	}
+}
+
+// fail releases the leader's claim without publishing, waking
+// followers so one of them can claim leadership and retry.
+func (c *resultCache) fail(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.inflight[id]; ok {
+		close(f.done)
+		delete(c.inflight, id)
+	}
+}

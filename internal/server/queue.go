@@ -1,0 +1,133 @@
+package server
+
+// Admission control and per-tenant fair queueing.
+//
+// Each tenant gets its own FIFO of queued jobs; workers pick the next
+// job by weighted round-robin over the tenants that have work. A
+// tenant's weight is its per-cycle credit: the scheduler grants each
+// tenant credit = weight at the top of a cycle and decrements it per
+// dispatched job, so over a full cycle tenant A with weight 3 starts
+// three jobs for every one of tenant B with weight 1, regardless of
+// how deep A's backlog is. Admission is bounded per tenant and
+// globally; a full queue is reported to the client as 429 with
+// Retry-After rather than unbounded buffering.
+//
+// All methods are called with the owning Server's mutex held.
+
+type tenantQueue struct {
+	name   string
+	jobs   []*Job
+	credit int
+	weight int
+}
+
+type fairQueue struct {
+	// tenants is dense so round-robin order is stable: a tenant keeps
+	// its slot for the server's lifetime once it has submitted a job.
+	tenants []*tenantQueue
+	byName  map[string]*tenantQueue
+	// next is the round-robin cursor into tenants.
+	next int
+	// queued is the total backlog across tenants.
+	queued int
+
+	maxPerTenant int
+	maxTotal     int
+	// weights carries the configured per-tenant weights; tenants not
+	// listed get weight 1.
+	weights map[string]int
+}
+
+func newFairQueue(maxPerTenant, maxTotal int, weights map[string]int) *fairQueue {
+	return &fairQueue{
+		byName:       make(map[string]*tenantQueue),
+		maxPerTenant: maxPerTenant,
+		maxTotal:     maxTotal,
+		weights:      weights,
+	}
+}
+
+func (q *fairQueue) tenant(name string) *tenantQueue {
+	tq := q.byName[name]
+	if tq == nil {
+		w := q.weights[name]
+		if w <= 0 {
+			w = 1
+		}
+		tq = &tenantQueue{name: name, weight: w, credit: w}
+		q.byName[name] = tq
+		q.tenants = append(q.tenants, tq)
+	}
+	return tq
+}
+
+// push enqueues j for its tenant, or returns false when either the
+// tenant's or the global backlog bound is hit.
+func (q *fairQueue) push(j *Job) bool {
+	tq := q.tenant(j.Tenant)
+	if q.maxTotal > 0 && q.queued >= q.maxTotal {
+		return false
+	}
+	if q.maxPerTenant > 0 && len(tq.jobs) >= q.maxPerTenant {
+		return false
+	}
+	tq.jobs = append(tq.jobs, j)
+	q.queued++
+	return true
+}
+
+// pop dequeues the next job by weighted round-robin, or nil when no
+// tenant has work. Two passes: the first spends remaining credits in
+// cursor order; if every backlogged tenant is out of credit the cycle
+// is over, so credits refill to the weights and the scan repeats (the
+// second pass always succeeds when queued > 0).
+func (q *fairQueue) pop() *Job {
+	if q.queued == 0 {
+		return nil
+	}
+	for pass := 0; pass < 2; pass++ {
+		n := len(q.tenants)
+		for i := 0; i < n; i++ {
+			tq := q.tenants[(q.next+i)%n]
+			if len(tq.jobs) == 0 || tq.credit <= 0 {
+				continue
+			}
+			j := tq.jobs[0]
+			copy(tq.jobs, tq.jobs[1:])
+			tq.jobs[len(tq.jobs)-1] = nil
+			tq.jobs = tq.jobs[:len(tq.jobs)-1]
+			tq.credit--
+			q.queued--
+			// Advance past this tenant only once its credit is spent,
+			// so a weight-3 tenant drains its burst contiguously but
+			// never exceeds its share within the cycle.
+			if tq.credit == 0 {
+				q.next = (q.next + i + 1) % n
+			}
+			return j
+		}
+		for _, tq := range q.tenants {
+			tq.credit = tq.weight
+		}
+	}
+	return nil
+}
+
+// remove deletes j from its tenant's backlog (cancellation of a
+// not-yet-started job). Reports whether j was queued.
+func (q *fairQueue) remove(j *Job) bool {
+	tq := q.byName[j.Tenant]
+	if tq == nil {
+		return false
+	}
+	for i, qj := range tq.jobs {
+		if qj == j {
+			copy(tq.jobs[i:], tq.jobs[i+1:])
+			tq.jobs[len(tq.jobs)-1] = nil
+			tq.jobs = tq.jobs[:len(tq.jobs)-1]
+			q.queued--
+			return true
+		}
+	}
+	return false
+}

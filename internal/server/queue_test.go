@@ -1,0 +1,103 @@
+package server
+
+import "testing"
+
+func job(tenant, id string) *Job {
+	return &Job{ID: id, Tenant: tenant}
+}
+
+// TestFairQueueWRR pins the weighted round-robin dispatch order: with
+// weights a=3, b=1, each cycle starts three of a's jobs for one of
+// b's, and leftovers drain once the other tenant is empty.
+func TestFairQueueWRR(t *testing.T) {
+	q := newFairQueue(0, 0, map[string]int{"a": 3, "b": 1})
+	for i := 0; i < 6; i++ {
+		if !q.push(job("a", "a"+string(rune('1'+i)))) {
+			t.Fatal("push a rejected")
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if !q.push(job("b", "b"+string(rune('1'+i)))) {
+			t.Fatal("push b rejected")
+		}
+	}
+	want := []string{
+		"a1", "a2", "a3", "b1", // cycle 1: credits a=3, b=1
+		"a4", "a5", "a6", "b2", // cycle 2
+		"b3", "b4", "b5", "b6", // a drained; b refills each cycle
+	}
+	for i, w := range want {
+		j := q.pop()
+		if j == nil {
+			t.Fatalf("pop %d: empty queue, want %s", i, w)
+		}
+		if j.ID != w {
+			t.Fatalf("pop %d: got %s, want %s", i, j.ID, w)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("queue should be empty")
+	}
+}
+
+func TestFairQueueBounds(t *testing.T) {
+	q := newFairQueue(2, 3, nil)
+	if !q.push(job("a", "a1")) || !q.push(job("a", "a2")) {
+		t.Fatal("under-bound pushes rejected")
+	}
+	if q.push(job("a", "a3")) {
+		t.Fatal("per-tenant bound not enforced")
+	}
+	if !q.push(job("b", "b1")) {
+		t.Fatal("tenant b rejected under global bound")
+	}
+	if q.push(job("b", "b2")) {
+		t.Fatal("global bound not enforced")
+	}
+	// Draining makes room again.
+	if q.pop() == nil {
+		t.Fatal("pop failed")
+	}
+	if !q.push(job("b", "b2")) {
+		t.Fatal("queue did not reopen after drain")
+	}
+}
+
+func TestFairQueueRemove(t *testing.T) {
+	q := newFairQueue(0, 0, nil)
+	j1, j2, j3 := job("a", "a1"), job("a", "a2"), job("a", "a3")
+	q.push(j1)
+	q.push(j2)
+	q.push(j3)
+	if !q.remove(j2) {
+		t.Fatal("remove failed")
+	}
+	if q.remove(j2) {
+		t.Fatal("double remove succeeded")
+	}
+	if q.queued != 2 {
+		t.Fatalf("queued %d after remove, want 2", q.queued)
+	}
+	if a, b := q.pop(), q.pop(); a.ID != "a1" || b.ID != "a3" {
+		t.Fatalf("pop order after remove: %s, %s", a.ID, b.ID)
+	}
+	if q.remove(job("zzz", "z1")) {
+		t.Fatal("remove for unknown tenant succeeded")
+	}
+}
+
+// TestFairQueueUnweightedRoundRobin checks the default: unlisted
+// tenants interleave one for one.
+func TestFairQueueUnweightedRoundRobin(t *testing.T) {
+	q := newFairQueue(0, 0, nil)
+	q.push(job("x", "x1"))
+	q.push(job("x", "x2"))
+	q.push(job("y", "y1"))
+	q.push(job("y", "y2"))
+	want := []string{"x1", "y1", "x2", "y2"}
+	for i, w := range want {
+		if j := q.pop(); j.ID != w {
+			t.Fatalf("pop %d: got %s, want %s", i, j.ID, w)
+		}
+	}
+}

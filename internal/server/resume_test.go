@@ -1,0 +1,164 @@
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mstx/internal/resilient"
+)
+
+// TestKillAndResume is the service-level crash test: a SIGKILL-style
+// stop of the scheduler mid-job (in-process Kill), then a fresh server
+// against the same checkpoint directory. The resumed job must finish
+// with a result bit-identical to an uninterrupted run — which for the
+// mc kind is exactly the checked-in E6 Table 2 golden.
+func TestKillAndResume(t *testing.T) {
+	defer resilient.Install(nil)
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+
+	// Reference: the uninterrupted run, straight through the adapter —
+	// the E6 golden configuration (Devices 6, capture length 1024).
+	spec := Spec{Kind: "mc", Devices: 6, CaptureN: 1024}
+	tk, err := newTask(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.prepare(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := tk.run(context.Background(), taskEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server A: slow the engine lanes down so the kill lands mid-run,
+	// with checkpoints at every round barrier.
+	fp := resilient.NewFailpoints()
+	fp.Set("mcengine.lane", resilient.Action{Delay: 2 * time.Millisecond})
+	resilient.Install(fp)
+	srvA, err := New(Config{Workers: 1, CheckpointDir: dir, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := srvA.Submit("crash", Spec{Kind: "mc", Devices: 6, CaptureN: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srvA.Snapshot(j).State != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Let a few round barriers checkpoint, then pull the plug.
+	jobDir := filepath.Join(dir, "job_"+j.ID)
+	for {
+		if ents, err := os.ReadDir(jobDir); err == nil && len(ents) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no engine checkpoint appeared before the kill")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srvA.Kill()
+	resilient.Install(nil)
+	if s := srvA.Snapshot(j); s.State != StateRunning && s.State != StateQueued {
+		t.Fatalf("killed job transitioned to %s; ledger would not resume it", s.State)
+	}
+
+	// Server B: same directory, resume on. The ledger replays the job
+	// and the engine restarts from its snapshots.
+	srvB, err := New(Config{Workers: 1, CheckpointDir: dir, CheckpointEvery: 1, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	jB, ok := srvB.Get(j.ID)
+	if !ok {
+		t.Fatalf("job %s not replayed from the ledger", j.ID)
+	}
+	select {
+	case <-jB.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("resumed job never finished")
+	}
+	final := srvB.Snapshot(jB)
+	if final.State != StateDone {
+		t.Fatalf("resumed job ended %s %+v", final.State, final.Error)
+	}
+	if final.Result.Text != ref.Text {
+		t.Fatalf("resumed result differs from uninterrupted run:\n--- resumed\n%s--- reference\n%s",
+			final.Result.Text, ref.Text)
+	}
+
+	// The spec is the golden configuration, so the resumed result must
+	// also match the checked-in E6 golden byte for byte.
+	golden, err := os.ReadFile(filepath.Join("..", "experiments", "testdata", "e6_table2.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimRight(final.Result.Text, "\n") != strings.TrimRight(string(golden), "\n") {
+		t.Fatalf("resumed result differs from the E6 golden:\n%s", final.Result.Text)
+	}
+
+	srvB.Close()
+	settle(t, baseline)
+}
+
+// TestResumeServesTerminalJobs checks the other half of the ledger:
+// finished jobs (and their results) survive a restart, and a cached
+// identity is re-served without recomputation.
+func TestResumeServesTerminalJobs(t *testing.T) {
+	dir := t.TempDir()
+	srvA, err := New(Config{Workers: 1, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := srvA.Submit("t", quickTranslate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	want := srvA.Snapshot(j)
+	if want.State != StateDone {
+		t.Fatalf("job ended %s", want.State)
+	}
+	srvA.Close()
+
+	srvB, err := New(Config{Workers: 1, CheckpointDir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	jB, ok := srvB.Get(j.ID)
+	if !ok {
+		t.Fatal("terminal job lost across restart")
+	}
+	got := srvB.Snapshot(jB)
+	if got.State != StateDone || got.Result == nil || got.Result.Text != want.Result.Text {
+		t.Fatalf("terminal job corrupted across restart: %+v", got)
+	}
+
+	// Identical submit on the restarted server: the seeded cache must
+	// serve it without touching the engine.
+	j2, err := srvB.Submit("t", quickTranslate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j2.Done()
+	got2 := srvB.Snapshot(j2)
+	if got2.State != StateDone || !got2.CacheHit || got2.Result.Text != want.Result.Text {
+		t.Fatalf("restarted cache miss: %+v", got2)
+	}
+	if srvB.Registry().Counters()["server_cache_misses_total"] != 0 {
+		t.Fatal("restarted server recomputed a ledgered identity")
+	}
+}

@@ -1,0 +1,667 @@
+// Package server turns the mstx engines into a multi-tenant job
+// service: a bounded scheduler with per-tenant weighted fair queueing
+// and admission control, a content-addressed single-flight result
+// cache keyed by the engines' FNV-1a stimulus identity, per-job
+// observability registries streamed as server-sent events, and a
+// checkpointed job ledger so a killed server resumes in-flight work
+// bit-identically on restart. cmd/mstxd wraps it in an HTTP binary.
+//
+// The package is deliberately not an engine package (no //mstxvet:engine
+// tag): a service legitimately reads wall clocks for timeouts, SSE
+// cadence and Retry-After hints. Everything deterministic stays in the
+// engines it dispatches to.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"mstx/internal/obs"
+	"mstx/internal/resilient"
+)
+
+// Job states. queued and running are live; the rest are terminal.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StatePartial  = "partial" // finished with quarantined work
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Error types carried in typed error bodies and job views.
+const (
+	ErrTypeBadRequest = "bad_request"
+	ErrTypeNotFound   = "not_found"
+	ErrTypeQueueFull  = "queue_full"
+	ErrTypeCanceled   = "canceled"
+	ErrTypeDeadline   = "deadline"
+	ErrTypePanic      = "panic"
+	ErrTypeEngine     = "engine"
+	ErrTypeShutdown   = "shutdown"
+)
+
+// ErrQueueFull is returned by Submit when admission control rejects
+// the job; the HTTP layer maps it to 429 with Retry-After.
+var ErrQueueFull = errors.New("server: queue full")
+
+// ErrStopped is returned by Submit after Close/Kill.
+var ErrStopped = errors.New("server: stopped")
+
+// Config parameterizes a Server. Zero values take the stated defaults.
+type Config struct {
+	// Workers is the number of concurrent jobs (scheduler slots).
+	// Default 2.
+	Workers int
+	// EngineWorkers is the per-job engine fan-out passed to the
+	// campaign/MC engines (0 = each engine's own default).
+	EngineWorkers int
+
+	// MaxQueuedPerTenant and MaxQueuedTotal bound the backlog; a
+	// submission over either bound is rejected with ErrQueueFull.
+	// Defaults 16 and 64.
+	MaxQueuedPerTenant int
+	MaxQueuedTotal     int
+	// Weights sets per-tenant scheduling weights (jobs started per
+	// fair-queue cycle). Unlisted tenants get weight 1.
+	Weights map[string]int
+	// RetryAfter is the backoff hint attached to queue-full
+	// rejections. Default 1s.
+	RetryAfter time.Duration
+
+	// CheckpointDir enables durability: the job ledger and each job's
+	// engine snapshots live under it. Empty = in-memory only.
+	CheckpointDir string
+	// CheckpointEvery is the engine snapshot cadence in engine units
+	// (round barriers / batches). <= 1 saves at every unit.
+	CheckpointEvery int
+	// Resume replays the ledger found in CheckpointDir on startup:
+	// terminal jobs are served from the ledger, live ones re-enqueued
+	// against their saved engine checkpoints.
+	Resume bool
+
+	// Registry is the server's own ops registry (/metrics, /trace).
+	// nil = a fresh obs.New().
+	Registry *obs.Registry
+	// JobRing is each job's span-ring capacity (SSE event source).
+	// Default 256.
+	JobRing int
+	// EventPoll is the SSE poll cadence. Default 200ms.
+	EventPoll time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	o := *c
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.MaxQueuedPerTenant <= 0 {
+		o.MaxQueuedPerTenant = 16
+	}
+	if o.MaxQueuedTotal <= 0 {
+		o.MaxQueuedTotal = 64
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.Registry == nil {
+		o.Registry = obs.New()
+	}
+	if o.JobRing <= 0 {
+		o.JobRing = 256
+	}
+	if o.EventPoll <= 0 {
+		o.EventPoll = 200 * time.Millisecond
+	}
+	return o
+}
+
+// Job is one submitted unit of work. Mutable fields are guarded by the
+// owning Server's mutex; done closes exactly once on reaching a
+// terminal state (or never, if the server is killed first).
+type Job struct {
+	ID     string
+	Tenant string
+	Spec   Spec
+
+	state    string
+	errType  string
+	errMsg   string
+	result   *Result
+	identity uint64
+	hasIdent bool
+	cacheHit bool
+
+	task   task
+	reg    *obs.Registry
+	cancel context.CancelFunc
+	// cancelRequested distinguishes a client DELETE from other
+	// interruptions when classifying the run error.
+	cancelRequested bool
+	done            chan struct{}
+}
+
+// Server is the job scheduler. New starts its workers immediately;
+// Close (graceful) or Kill (abrupt, for crash tests) stops them.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	q        *fairQueue
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order, for the ledger
+	nextID   int64
+	stopping bool
+	killed   bool
+
+	cache  *resultCache
+	ledger *resilient.Checkpointer
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	// Metrics (registered once; obsnil: server_* names are owned here).
+	mSubmitted *obs.Counter
+	mCompleted *obs.Counter
+	mFailed    *obs.Counter
+	mCanceled  *obs.Counter
+	mCacheHit  *obs.Counter
+	mCacheMiss *obs.Counter
+	mRejected  *obs.Counter
+	gQueued    *obs.Gauge
+	gRunning   *obs.Gauge
+}
+
+const ledgerName = "mstxd_jobs"
+const ledgerVersion = 1
+
+// ledgerRecord is one job's durable state; Result rides along for
+// terminal jobs so a restarted server can still serve them.
+type ledgerRecord struct {
+	ID       string
+	Tenant   string
+	Spec     Spec
+	State    string
+	ErrType  string
+	ErrMsg   string
+	Identity string
+	CacheHit bool
+	Result   *Result
+}
+
+type ledgerState struct {
+	NextID int64
+	Jobs   []ledgerRecord
+}
+
+// New builds and starts a server. With Resume set it replays the
+// ledger first, so previously queued/running jobs are dispatched again
+// (their engine checkpoints make the replay bit-identical) before any
+// new submissions.
+func New(cfg Config) (*Server, error) {
+	c := cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     c,
+		reg:     c.Registry,
+		q:       newFairQueue(c.MaxQueuedPerTenant, c.MaxQueuedTotal, c.Weights),
+		jobs:    make(map[string]*Job),
+		cache:   newResultCache(),
+		baseCtx: ctx,
+		stop:    cancel,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	if c.CheckpointDir != "" {
+		s.ledger = &resilient.Checkpointer{Dir: c.CheckpointDir, Resume: c.Resume}
+	}
+	s.mSubmitted = s.reg.Counter("server_jobs_submitted_total")
+	s.mCompleted = s.reg.Counter("server_jobs_completed_total")
+	s.mFailed = s.reg.Counter("server_jobs_failed_total")
+	s.mCanceled = s.reg.Counter("server_jobs_canceled_total")
+	s.mCacheHit = s.reg.Counter("server_cache_hits_total")
+	s.mCacheMiss = s.reg.Counter("server_cache_misses_total")
+	s.mRejected = s.reg.Counter("server_queue_rejections_total")
+	s.gQueued = s.reg.Gauge("server_jobs_queued")
+	s.gRunning = s.reg.Gauge("server_jobs_running")
+	if err := s.resume(); err != nil {
+		cancel()
+		return nil, err
+	}
+	for i := 0; i < c.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// resume replays the ledger: terminal records become servable jobs,
+// live ones are validated and re-enqueued in submission order.
+func (s *Server) resume() error {
+	if s.ledger == nil || !s.cfg.Resume {
+		return nil
+	}
+	var st ledgerState
+	ok, err := s.ledger.Load(ledgerName, ledgerVersion, &st)
+	if err != nil {
+		return fmt.Errorf("server: resume: %w", err)
+	}
+	if !ok {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID = st.NextID
+	for i := range st.Jobs {
+		rec := &st.Jobs[i]
+		j := &Job{
+			ID:       rec.ID,
+			Tenant:   rec.Tenant,
+			Spec:     rec.Spec,
+			state:    rec.State,
+			errType:  rec.ErrType,
+			errMsg:   rec.ErrMsg,
+			result:   rec.Result,
+			cacheHit: rec.CacheHit,
+			reg:      obs.NewWithRing(s.cfg.JobRing),
+			done:     make(chan struct{}),
+		}
+		if id, err := strconv.ParseUint(rec.Identity, 16, 64); err == nil && rec.Identity != "" {
+			j.identity, j.hasIdent = id, true
+			if rec.Result != nil && !rec.Result.Partial && rec.State == StateDone {
+				s.cache.succeed(id, rec.Result)
+			}
+		}
+		switch rec.State {
+		case StateQueued, StateRunning:
+			// A job caught mid-flight by the crash: rebuild its task
+			// and run it again. Its engine checkpoints under
+			// job_<id>/ make the re-run a resume, not a restart.
+			t, err := newTask(&j.Spec)
+			if err != nil {
+				j.state = StateFailed
+				j.errType, j.errMsg = ErrTypeEngine, fmt.Sprintf("resume: %v", err)
+				close(j.done)
+				break
+			}
+			j.task = t
+			j.state = StateQueued
+			if !s.q.push(j) {
+				j.state = StateFailed
+				j.errType, j.errMsg = ErrTypeQueueFull, "resume: queue full"
+				close(j.done)
+			}
+		default:
+			close(j.done)
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+	}
+	s.gQueued.Set(float64(s.q.queued))
+	s.saveLedgerLocked()
+	return nil
+}
+
+// Submit validates spec, admits the job for tenant and wakes a worker.
+// The returned Job is live; poll it via Get or stream via SSE.
+func (s *Server) Submit(tenant string, spec Spec) (*Job, error) {
+	if tenant == "" {
+		tenant = "default"
+	}
+	t, err := newTask(&spec) // normalizes spec in place
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return nil, ErrStopped
+	}
+	s.nextID++
+	j := &Job{
+		ID:     "j" + strconv.FormatInt(s.nextID, 10),
+		Tenant: tenant,
+		Spec:   spec,
+		state:  StateQueued,
+		task:   t,
+		reg:    obs.NewWithRing(s.cfg.JobRing),
+		done:   make(chan struct{}),
+	}
+	if !s.q.push(j) {
+		s.mRejected.Inc()
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.mSubmitted.Inc()
+	s.gQueued.Set(float64(s.q.queued))
+	s.saveLedgerLocked()
+	s.cond.Signal()
+	return j, nil
+}
+
+// Get returns the job by ID.
+func (s *Server) Get(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation: a queued job terminates immediately, a
+// running one has its context canceled and terminates when the engine
+// unwinds. Terminal jobs are left alone. Reports whether the job
+// exists.
+func (s *Server) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return false
+	}
+	switch j.state {
+	case StateQueued:
+		s.q.remove(j)
+		s.gQueued.Set(float64(s.q.queued))
+		s.finishLocked(j, StateCanceled, ErrTypeCanceled, "canceled before start")
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return true
+}
+
+// Close stops the server gracefully: no new admissions, running jobs
+// are interrupted, workers drained. Interrupted jobs keep their last
+// persisted ledger state (queued/running), so a Resume restart picks
+// them back up.
+func (s *Server) Close() { s.shutdown() }
+
+// Kill is the crash-test stop: identical interruption semantics to
+// Close (the ledger is already saved transition-by-transition, like a
+// process that lost power), kept separate so tests read as intended.
+func (s *Server) Kill() { s.shutdown() }
+
+func (s *Server) shutdown() {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopping = true
+	s.killed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.stop()
+	s.wg.Wait()
+}
+
+// Registry returns the server's ops registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// worker is one scheduler slot: pop by weighted round-robin, run,
+// repeat.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for s.q.queued == 0 && !s.stopping {
+			s.cond.Wait()
+		}
+		if s.stopping {
+			s.mu.Unlock()
+			return
+		}
+		j := s.q.pop()
+		if j == nil {
+			s.mu.Unlock()
+			continue
+		}
+		j.state = StateRunning
+		var ctx context.Context
+		var cancel context.CancelFunc
+		if j.Spec.TimeoutSec > 0 {
+			ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(j.Spec.TimeoutSec*float64(time.Second)))
+		} else {
+			ctx, cancel = context.WithCancel(s.baseCtx)
+		}
+		j.cancel = cancel
+		s.gQueued.Set(float64(s.q.queued))
+		s.gRunning.Add(1)
+		s.saveLedgerLocked()
+		s.mu.Unlock()
+
+		s.runJob(ctx, j)
+		cancel()
+
+		s.mu.Lock()
+		s.gRunning.Add(-1)
+		s.mu.Unlock()
+	}
+}
+
+// runJob computes j: content identity, single-flight claim, engine
+// run under the job's own obs registry, terminal classification.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	jctx := obs.WithRegistry(ctx, j.reg)
+	id, err := j.task.prepare(jctx)
+	if err != nil {
+		s.finish(j, StateFailed, ErrTypeEngine, err.Error())
+		return
+	}
+	s.mu.Lock()
+	j.identity, j.hasIdent = id, true
+	s.mu.Unlock()
+
+	for {
+		leader, cached, wait := s.cache.begin(id)
+		if cached != nil {
+			s.mCacheHit.Inc()
+			s.mu.Lock()
+			j.cacheHit = true
+			s.mu.Unlock()
+			s.finishResult(j, cached)
+			return
+		}
+		if leader {
+			break
+		}
+		select {
+		case <-wait:
+			// Leader finished (or failed); re-check the cache, or
+			// claim the vacated leadership.
+		case <-jctx.Done():
+			s.finishInterrupted(j, jctx, resilient.CtxErr(jctx))
+			return
+		}
+	}
+	s.mCacheMiss.Inc()
+
+	env := taskEnv{workers: s.cfg.EngineWorkers}
+	if s.cfg.CheckpointDir != "" {
+		env.ckpt = &resilient.Checkpointer{
+			Dir:    filepath.Join(s.cfg.CheckpointDir, "job_"+j.ID),
+			Every:  s.cfg.CheckpointEvery,
+			Resume: true,
+		}
+	}
+	res, err := j.task.run(jctx, env)
+	if res != nil {
+		res.Identity = fmt.Sprintf("%016x", id)
+	}
+	if err != nil {
+		s.cache.fail(id)
+		var pe *resilient.PanicError
+		switch {
+		case errors.As(err, &pe):
+			s.finish(j, StateFailed, ErrTypePanic, pe.Error())
+		case resilient.Interrupted(err):
+			s.finishInterrupted(j, jctx, err)
+		default:
+			s.finish(j, StateFailed, ErrTypeEngine, err.Error())
+		}
+		return
+	}
+	if res.Partial {
+		// A degraded result is real but not canonical: serve it to
+		// this job, release followers to recompute their own.
+		s.cache.fail(id)
+	} else {
+		s.cache.succeed(id, res)
+	}
+	s.finishResult(j, res)
+}
+
+// finishInterrupted classifies an interruption: client cancel, job
+// deadline, or server shutdown (which leaves the job resumable).
+func (s *Server) finishInterrupted(j *Job, ctx context.Context, err error) {
+	s.mu.Lock()
+	stopping := s.stopping
+	requested := j.cancelRequested
+	s.mu.Unlock()
+	switch {
+	case requested:
+		s.finish(j, StateCanceled, ErrTypeCanceled, "canceled by request")
+	case errors.Is(err, resilient.ErrDeadline) || errors.Is(ctx.Err(), context.DeadlineExceeded):
+		s.finish(j, StateFailed, ErrTypeDeadline, "job deadline exceeded")
+	case stopping:
+		// Server going down: no transition. The ledger still says
+		// queued/running, which is exactly what resume needs.
+	default:
+		s.finish(j, StateCanceled, ErrTypeCanceled, err.Error())
+	}
+}
+
+func (s *Server) finishResult(j *Job, res *Result) {
+	state := StateDone
+	if res.Partial {
+		state = StatePartial
+	}
+	s.mu.Lock()
+	j.result = res
+	s.finishLocked(j, state, "", "")
+	s.mu.Unlock()
+}
+
+func (s *Server) finish(j *Job, state, errType, errMsg string) {
+	s.mu.Lock()
+	s.finishLocked(j, state, errType, errMsg)
+	s.mu.Unlock()
+}
+
+// finishLocked moves j to a terminal state, bumps metrics, folds the
+// job's counters into the server registry (so /metrics aggregates
+// engine work across jobs), persists the ledger and releases waiters.
+func (s *Server) finishLocked(j *Job, state, errType, errMsg string) {
+	if j.state == StateDone || j.state == StatePartial ||
+		j.state == StateFailed || j.state == StateCanceled {
+		return
+	}
+	j.state = state
+	j.errType, j.errMsg = errType, errMsg
+	switch state {
+	case StateDone, StatePartial:
+		s.mCompleted.Inc()
+	case StateFailed:
+		s.mFailed.Inc()
+	case StateCanceled:
+		s.mCanceled.Inc()
+	}
+	for name, v := range j.reg.Counters() {
+		if v != 0 {
+			s.reg.Counter(name).Add(v)
+		}
+	}
+	s.saveLedgerLocked()
+	close(j.done)
+}
+
+// saveLedgerLocked snapshots all jobs. Called with s.mu held on every
+// transition; a save failure is non-fatal for the live server (jobs
+// keep running) but loses resumability, so it is surfaced as a
+// server_ledger_errors_total bump rather than silently dropped.
+func (s *Server) saveLedgerLocked() {
+	if s.ledger == nil || s.killed {
+		return
+	}
+	st := ledgerState{NextID: s.nextID}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		rec := ledgerRecord{
+			ID:      j.ID,
+			Tenant:  j.Tenant,
+			Spec:    j.Spec,
+			State:   j.state,
+			ErrType: j.errType,
+			ErrMsg:  j.errMsg,
+		}
+		if j.hasIdent {
+			rec.Identity = fmt.Sprintf("%016x", j.identity)
+		}
+		rec.CacheHit = j.cacheHit
+		rec.Result = j.result
+		st.Jobs = append(st.Jobs, rec)
+	}
+	if err := s.ledger.Save(ledgerName, ledgerVersion, &st); err != nil {
+		s.reg.Counter("server_ledger_errors_total").Inc()
+	}
+}
+
+// Snapshot is a point-in-time public view of a job.
+type Snapshot struct {
+	ID       string     `json:"id"`
+	Tenant   string     `json:"tenant"`
+	Kind     string     `json:"kind"`
+	State    string     `json:"state"`
+	Identity string     `json:"identity,omitempty"`
+	CacheHit bool       `json:"cache_hit,omitempty"`
+	Error    *ErrorBody `json:"error,omitempty"`
+	Result   *Result    `json:"result,omitempty"`
+}
+
+// ErrorBody is the typed error payload used in job views and HTTP
+// error responses.
+type ErrorBody struct {
+	Type    string `json:"type"`
+	Message string `json:"message"`
+}
+
+// Snapshot returns j's current public view.
+func (s *Server) Snapshot(j *Job) Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := Snapshot{
+		ID:       j.ID,
+		Tenant:   j.Tenant,
+		Kind:     j.Spec.Kind,
+		State:    j.state,
+		CacheHit: j.cacheHit,
+		Result:   j.result,
+	}
+	if j.hasIdent {
+		v.Identity = fmt.Sprintf("%016x", j.identity)
+	}
+	if j.errType != "" {
+		v.Error = &ErrorBody{Type: j.errType, Message: j.errMsg}
+	}
+	return v
+}
+
+// Done exposes the job's terminal-notification channel (closed when
+// the job reaches a terminal state).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Events exposes the job's private obs registry, the SSE event
+// source.
+func (j *Job) Events() *obs.Registry { return j.reg }

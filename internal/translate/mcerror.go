@@ -272,7 +272,7 @@ func EstimateReferralError(ctx context.Context, sp path.Spec, param params.Kind,
 	if err != nil {
 		return ErrEstimate{}, err
 	}
-	if reg := obs.Default(); reg != nil {
+	if reg := obs.For(ctx); reg != nil {
 		reg.Counter("translate_mc_draws_total").Add(int64(done))
 	}
 	return ErrEstimate{
@@ -303,7 +303,7 @@ func RefineErrSigmaMC(ctx context.Context, p *path.Path, plan *Plan, cfg MCConfi
 	}
 	// Observability: one parent span for the refinement pass, one
 	// child span per refined test — all no-ops when disabled.
-	reg := obs.Default()
+	reg := obs.For(ctx)
 	refineCtx := ctx
 	var refineSp *obs.SpanHandle
 	if reg != nil {

@@ -51,6 +51,14 @@ echo "== chaos suite (failpoints, race) =="
 # accounting. -count=2 so a cached result never masks a race.
 go test -race -count=2 ./internal/resilient ./internal/fault
 
+echo "== service suite (mstxd scheduler/cache/SSE, race) =="
+# The job service end to end: submit/stream/cancel/cache-hit round
+# trips over httptest, failpoint-driven failed/partial classification,
+# the single-flight cache under concurrent identical submissions, and
+# the in-process kill-and-resume crash test. -count=2: the WRR
+# scheduler and SSE pollers are scheduling-sensitive.
+go test -race -count=2 ./internal/server ./cmd/mstxd
+
 echo "== kill-and-resume smoke (E6 -checkpoint, SIGKILL, -resume, diff) =="
 # A checkpointed quick E6 run is SIGKILLed mid-flight, resumed from its
 # snapshot directory, and the resumed table must be byte-identical to
@@ -73,6 +81,35 @@ echo "== golden diff (E6 Table 2) =="
 # Byte-for-byte against the checked-in golden; regenerate deliberately
 # with: go test ./internal/experiments -run Table2Golden -update
 go test -count=1 ./internal/experiments -run 'Table2Golden'
+
+echo "== mstxd smoke (serve, submit E6 job, diff against CLI) =="
+# Boot the real service binary, submit the quick E6 study as an "mc"
+# job through the client mode, and the result text the service streams
+# back must be byte-identical to what the experiments CLI prints for
+# the same configuration — the service is a scheduler around the same
+# engines, never a different code path. The resubmission must then be
+# served from the content-addressed cache (client reports it on
+# stderr) with the identical bytes.
+go build -o "$tmp/mstxd" ./cmd/mstxd
+"$tmp/mstxd" -addr 127.0.0.1:0 -addr-file "$tmp/mstxd.addr" -workers 1 \
+    2>"$tmp/mstxd.log" &
+mstxd_pid=$!
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    [ -s "$tmp/mstxd.addr" ] && break
+    sleep 0.2
+done
+[ -s "$tmp/mstxd.addr" ] || { cat "$tmp/mstxd.log" >&2; exit 1; }
+addr=$(cat "$tmp/mstxd.addr")
+"$tmp/mstxd" -connect "$addr" -tenant smoke -wait \
+    -submit '{"kind":"mc","devices":6}' >"$tmp/mstxd_table2.txt"
+"$tmp/experiments" -table2 -quick >"$tmp/cli_table2.txt" 2>/dev/null
+diff "$tmp/mstxd_table2.txt" "$tmp/cli_table2.txt"
+"$tmp/mstxd" -connect "$addr" -tenant smoke -wait \
+    -submit '{"kind":"mc","devices":6}' >"$tmp/mstxd_cached.txt" 2>"$tmp/resub.log"
+grep -q 'served from cache' "$tmp/resub.log"
+diff "$tmp/mstxd_table2.txt" "$tmp/mstxd_cached.txt"
+kill -TERM "$mstxd_pid" 2>/dev/null || true
+wait "$mstxd_pid" 2>/dev/null || true
 
 echo "== bench smoke (MC losses pair) =="
 go test -run '^$' -bench 'BenchmarkMCLosses' -benchtime 3x .
