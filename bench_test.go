@@ -22,6 +22,7 @@ import (
 	"mstx/internal/fault"
 	"mstx/internal/obs"
 	"mstx/internal/params"
+	"mstx/internal/soc"
 	"mstx/internal/tolerance"
 )
 
@@ -558,6 +559,46 @@ func BenchmarkSpectralCampaign(b *testing.B) {
 	faults := float64(dt.Universe.Size()) * float64(b.N)
 	b.ReportMetric(faults/b.Elapsed().Seconds(), "faults/s")
 	b.ReportMetric(100*screened, "%screened")
+}
+
+// benchSOC builds the default four-core SOC once for the scheduling
+// benchmark pair.
+func benchSOC(b *testing.B) *soc.SOC {
+	b.Helper()
+	s, err := soc.Default()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSOCSchedule measures the E9 TAM sweep — width lanes 1..32
+// optimized concurrently on the engine worker pool (compare with
+// BenchmarkSOCScheduleSerial). Reported metric: the makespan found at
+// the widest bus, in kilocycles.
+func BenchmarkSOCSchedule(b *testing.B) {
+	s := benchSOC(b)
+	var makespan int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sch, err := soc.Plan(context.Background(), s, 32, soc.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		makespan = sch.Makespan
+	}
+	b.ReportMetric(float64(makespan)/1e3, "kcycles")
+}
+
+// BenchmarkSOCScheduleSerial runs the same sweep on one worker.
+func BenchmarkSOCScheduleSerial(b *testing.B) {
+	s := benchSOC(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := soc.Plan(context.Background(), s, 32, soc.Options{Seed: 1, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- Observability overhead (DESIGN.md §8) ---

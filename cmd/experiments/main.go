@@ -5,7 +5,7 @@
 // Usage:
 //
 //	experiments [-fig1] [-tones] [-fig2] [-fig3] [-fig4] [-table1]
-//	            [-table2] [-path] [-fig6] [-topoff] [-quick]
+//	            [-table2] [-path] [-fig6] [-e9] [-topoff] [-quick]
 //	            [-workers K] [-list]
 //	            [-metrics] [-trace] [-obs-out file] [-debug-addr host:port]
 //	            [-checkpoint dir] [-checkpoint-every n] [-resume]
@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		table2    = fs.Bool("table2", false, "E6: FCL/YL threshold sweep (Table 2)")
 		pathE     = fs.Bool("path", false, "E8: digital filter tested through the analog path (§5)")
 		fig6      = fs.Bool("fig6", false, "E9: experimental set-up attribute walk (Figure 6)")
+		e9soc     = fs.Bool("e9", false, "E9: multi-core SOC test planning — TAM schedule sweep (Sehgal et al.)")
 		topoff    = fs.Bool("topoff", false, "E10: ATPG top-off of the functional residue (DFT reduction)")
 		quick     = fs.Bool("quick", false, "reduced sizes for a fast smoke run")
 		workers   = fs.Int("workers", 0, "Monte-Carlo worker fan-out for E5/E6 (0 = GOMAXPROCS; results identical for any value)")
@@ -111,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runCtx, runSp := obs.Span(nil, "experiments.run")
 	defer runSp.End()
 
-	all := !(*fig1 || *tones || *fig2 || *fig3 || *fig4 || *table1 || *table2 || *pathE || *fig6 || *topoff)
+	all := !(*fig1 || *tones || *fig2 || *fig3 || *fig4 || *table1 || *table2 || *pathE || *fig6 || *e9soc || *topoff)
 	failed := false
 	// Result tables go to stdout; the progress header goes to stderr so
 	// redirected stdout is byte-comparable against the golden tables.
@@ -139,11 +140,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	devices := 0
 	tonesP := 0
 	base, long := 0, 0
+	var socWidths []int
+	socIters := 0
 	if *quick {
 		patterns = 512
 		devices = 6
 		tonesP = 256
 		base, long = 256, 512
+		socWidths = []int{4, 8, 16}
+		socIters = 16
 	}
 
 	run(*fig1, "E1/Fig1", "output spectra, fault-free and faulty 16-tap FIR",
@@ -182,6 +187,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		})
 	run(*fig6, "E9/Fig6", "experimental set-up attribute walk",
 		func() (interface{ Format() string }, error) { return experiments.Fig6() })
+	run(*e9soc, "E9/SOC", "multi-core SOC test planning: TAM schedule sweep",
+		func() (interface{ Format() string }, error) {
+			return experiments.SOCPlan(experiments.SOCOptions{
+				Widths: socWidths, Iterations: socIters,
+				Workers: *workers, Ctx: ctx, Checkpoint: ckpt,
+			})
+		})
 	run(*topoff, "E10/top-off", "ATPG classification of the functional residue",
 		func() (interface{ Format() string }, error) {
 			return experiments.TopOff(experiments.TopOffOptions{Patterns: tonesP})

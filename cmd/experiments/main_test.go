@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -41,6 +43,37 @@ func TestListAllWithoutRunning(t *testing.T) {
 	}
 	if strings.Contains(stdout, "====") {
 		t.Errorf("-list must not run experiments:\n%s", stdout)
+	}
+}
+
+// TestListMatchesExperimentsDoc pins `-list` against the experiment
+// index documented in EXPERIMENTS.md: the fenced block under
+// "## Experiment index" must match the command output byte-for-byte,
+// so neither the CLI nor the doc can drift on its own (the PR 7
+// regression this guards against).
+func TestListMatchesExperimentsDoc(t *testing.T) {
+	code, stdout, stderr := runCapture(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	doc, err := os.ReadFile(filepath.Join("..", "..", "EXPERIMENTS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rest, ok := strings.Cut(string(doc), "## Experiment index")
+	if !ok {
+		t.Fatal("EXPERIMENTS.md lacks the \"## Experiment index\" section")
+	}
+	_, rest, ok = strings.Cut(rest, "```text\n")
+	if !ok {
+		t.Fatal("experiment index lacks its ```text block")
+	}
+	want, _, ok := strings.Cut(rest, "```")
+	if !ok {
+		t.Fatal("experiment index block is unterminated")
+	}
+	if stdout != want {
+		t.Errorf("-list drifted from the EXPERIMENTS.md index.\n--- -list ---\n%s--- EXPERIMENTS.md ---\n%s", stdout, want)
 	}
 }
 

@@ -1,8 +1,8 @@
 // Command mstxd serves the mstx engines as a multi-tenant job
-// service: campaign, Monte-Carlo and translation jobs over HTTP/JSON
-// with per-tenant fair queueing, a content-addressed result cache and
-// checkpointed restart-resume. The same binary doubles as a minimal
-// client for scripts and smokes.
+// service: campaign, Monte-Carlo, translation and SOC test-planning
+// jobs over HTTP/JSON with per-tenant fair queueing, a
+// content-addressed result cache and checkpointed restart-resume. The
+// same binary doubles as a minimal client for scripts and smokes.
 //
 // Server:
 //
@@ -15,6 +15,10 @@
 //
 //	mstxd -connect host:port -submit '{"kind":"mc","devices":6}'
 //	      [-tenant name] [-wait] [-events]
+//
+// Job kinds: "campaign" (spectral fault campaign), "mc" (E6 Table 2
+// study), "translate" (referral-error MC) and "soc" (E9 multi-core
+// SOC TAM schedule sweep).
 //
 // The server installs the full API under /v1 plus the obs debug
 // surface (/metrics, /trace, /debug/pprof) on one listener; SIGINT or

@@ -84,14 +84,16 @@ func Catalog() []*Analyzer {
 
 // enginePackages are the packages bound by the engine-layer contracts
 // (panic quarantine, deterministic replay): the spectral campaign, the
-// MC engine, the fault simulator, and the tolerance/translate math
-// that feeds checkpointed ledgers.
+// MC engine, the fault simulator, the tolerance/translate math that
+// feeds checkpointed ledgers, and the SOC test scheduler whose
+// schedules are golden-pinned bit for bit.
 var enginePackages = map[string]bool{
 	"campaign":  true,
 	"mcengine":  true,
 	"fault":     true,
 	"tolerance": true,
 	"translate": true,
+	"soc":       true,
 }
 
 // engineDirective tags a package as engine-scoped regardless of its

@@ -1,0 +1,38 @@
+// Package soc pins the scheduler package into the engine set by path
+// alone: no /mstxvet:engine directive here — the determinism rules
+// must apply because the package is named soc, the same way the real
+// internal/soc scheduler is covered.
+package soc
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter would make two schedule optimizations diverge: the local
+// search must draw only from its lane substream.
+func Jitter() int {
+	return rand.Intn(8) // want `global math/rand.Intn`
+}
+
+// Anneal is the sanctioned path: the caller seeds a private stream.
+func Anneal(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Deadline stamps wall-clock time into a schedule decision — resumed
+// runs would pack differently.
+func Deadline() int64 {
+	return time.Now().Unix() // want `time.Now in an engine package`
+}
+
+// Order publishes map iteration order into the test order the packer
+// consumes.
+func Order(tests map[string]int64) []string {
+	var order []string
+	for name := range tests {
+		order = append(order, name) // want `append inside a map range`
+	}
+	return order
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"mstx/internal/obs"
+	"mstx/internal/resilient"
+	"mstx/internal/soc"
+)
+
+// DefaultTAMWidths is the E9 sweep: the test-access bus widths the
+// schedule/test-time table is reported at (Sehgal-style).
+var DefaultTAMWidths = []int{8, 16, 24, 32, 48}
+
+// DefaultSOCSeed drives the scheduler's local search when the caller
+// leaves Seed zero, so the published E9 table is one fixed experiment.
+const DefaultSOCSeed = 1
+
+// SOCOptions configure the E9 multi-core SOC test-planning study.
+type SOCOptions struct {
+	// Widths are the TAM bus widths to sweep (default
+	// DefaultTAMWidths).
+	Widths []int
+	// Cores restricts the SOC to these core IDs (default: all).
+	Cores []string
+	// Iterations is the local-search budget per width lane
+	// (default soc.DefaultIterations).
+	Iterations int
+	// Seed drives the scheduler's RNG substreams (default
+	// DefaultSOCSeed).
+	Seed int64
+	// Workers bounds the width-lane worker pool (0 = GOMAXPROCS;
+	// the result is identical for any value).
+	Workers int
+	// Ctx cancels the run early when done.
+	Ctx context.Context
+	// Checkpoint, when set, snapshots completed width lanes.
+	Checkpoint *resilient.Checkpointer
+}
+
+// SOCResult is the E9 outcome: the SOC under test and one optimized
+// schedule per swept TAM width.
+type SOCResult struct {
+	// SOC is the (possibly core-restricted) system under test.
+	SOC *soc.SOC
+	// Widths are the swept TAM widths, ascending as requested.
+	Widths []int
+	// Schedules hold one schedule per width, same order.
+	Schedules []*soc.Schedule
+	// Seed and Iterations echo the scheduler configuration.
+	Seed       int64
+	Iterations int
+}
+
+// SOCPlan runs E9: build the default heterogeneous SOC (receive path
+// with Nyquist and sigma-delta interfaces, two digital FIR cores),
+// then schedule it at every requested TAM width with the
+// resource-constrained rectangle packer. Deterministic for a fixed
+// seed, any worker count, and across checkpoint/resume.
+func SOCPlan(opts SOCOptions) (*SOCResult, error) {
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	widths := opts.Widths
+	if len(widths) == 0 {
+		widths = DefaultTAMWidths
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = DefaultSOCSeed
+	}
+	iters := opts.Iterations
+	if iters <= 0 {
+		iters = soc.DefaultIterations
+	}
+
+	e9Ctx, e9Sp := obs.Span(ctx, "e9.soc")
+	defer e9Sp.End()
+
+	s, err := soc.Default()
+	if err != nil {
+		return nil, err
+	}
+	s, err = soc.Select(s, opts.Cores)
+	if err != nil {
+		return nil, err
+	}
+	scheds, err := soc.PlanSweep(e9Ctx, s, widths, soc.Options{
+		Iterations:     iters,
+		Seed:           seed,
+		Workers:        opts.Workers,
+		Checkpoint:     opts.Checkpoint,
+		CheckpointName: "e9_soc",
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &SOCResult{
+		SOC: s, Widths: widths, Schedules: scheds,
+		Seed: seed, Iterations: iters,
+	}, nil
+}
+
+// kc renders cycles as kilocycles.
+func kc(c int64) string { return fmt.Sprintf("%.1f", float64(c)/1e3) }
+
+// Format renders the E9 tables: the SOC inventory, the Sehgal-style
+// TAM-width sweep (makespan vs certified lower bound), and the full
+// rectangle schedule at the widest bus.
+func (r *SOCResult) Format() string {
+	var b strings.Builder
+	s := r.SOC
+	fmt.Fprintf(&b, "SOC %s: %d cores, %d tests, %.2f Mcycle TAM payload\n",
+		s.Name, len(s.Cores), s.NumTests(), float64(s.Volume())/1e6)
+	rows := [][]string{{"core", "kind", "wrapper", "tests", "payload (kc)"}}
+	for _, c := range s.Cores {
+		var v int64
+		for _, t := range c.Tests {
+			v += t.Cycles
+		}
+		rows = append(rows, []string{
+			c.ID, c.Kind,
+			fmt.Sprintf("%d", c.WrapperWidth),
+			fmt.Sprintf("%d", len(c.Tests)),
+			kc(v),
+		})
+	}
+	b.WriteString(table(rows))
+
+	fmt.Fprintf(&b, "\nTAM sweep (seed %d, %d local-search iterations per width lane):\n",
+		r.Seed, r.Iterations)
+	rows = [][]string{{"W", "makespan (kc)", "bound (kc)", "gap", "pack", "eff", "util", "speedup"}}
+	base := r.Schedules[0].Makespan
+	for i, sch := range r.Schedules {
+		gap := 100 * float64(sch.Makespan-sch.LowerBound) / float64(sch.LowerBound)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", r.Widths[i]),
+			kc(sch.Makespan),
+			kc(sch.LowerBound),
+			fmt.Sprintf("%.1f%%", gap),
+			fmt.Sprintf("%d", sch.PackWidth),
+			fmt.Sprintf("%d", sch.EffectiveWidth),
+			fmt.Sprintf("%.0f%%", 100*sch.Utilization()),
+			fmt.Sprintf("%.2fx", float64(base)/float64(sch.Makespan)),
+		})
+	}
+	b.WriteString(table(rows))
+
+	last := r.Schedules[len(r.Schedules)-1]
+	fmt.Fprintf(&b, "\nschedule at W=%d (makespan %s kc, packed at %d wires):\n",
+		last.TAMWidth, kc(last.Makespan), last.PackWidth)
+	rows = [][]string{{"start (kc)", "dur (kc)", "wires", "test", "holds"}}
+	for _, a := range last.Assignments {
+		holds := strings.Join(a.Resources, "+")
+		if holds == "" {
+			holds = "-"
+		}
+		rows = append(rows, []string{
+			kc(a.Start),
+			kc(a.Duration),
+			fmt.Sprintf("%d-%d", a.Wire, a.Wire+a.Width-1),
+			a.Core + "/" + a.Test,
+			holds,
+		})
+	}
+	b.WriteString(table(rows))
+	return b.String()
+}

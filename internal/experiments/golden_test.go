@@ -40,6 +40,55 @@ func TestTable2Golden(t *testing.T) {
 	}
 }
 
+// TestE9ScheduleGolden pins the formatted E9 SOC schedule sweep
+// byte-for-byte at the default configuration — the same table
+// `cmd/experiments -e9` prints and the `soc` job kind serves. The
+// scheduler is deterministic under its fixed seed (lane RNG
+// substreams, lane-order merge), so any diff is a real behavior
+// change. Regenerate intentionally with:
+//
+//	go test ./internal/experiments -run E9ScheduleGolden -update
+func TestE9ScheduleGolden(t *testing.T) {
+	res, err := SOCPlan(SOCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Format()
+	golden := filepath.Join("testdata", "e9_schedule.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("E9 schedule output drifted from golden.\n--- got ---\n%s--- want ---\n%s(run with -update if the change is intentional)", got, want)
+	}
+}
+
+// TestE9ScheduleGoldenWorkerInvariant re-runs the golden
+// configuration at a high worker count: the formatted output must not
+// move by a byte.
+func TestE9ScheduleGoldenWorkerInvariant(t *testing.T) {
+	base, err := SOCPlan(SOCOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := SOCPlan(SOCOptions{Workers: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Format() != wide.Format() {
+		t.Errorf("worker count changed output:\n%s\nvs\n%s", base.Format(), wide.Format())
+	}
+}
+
 // TestTable2GoldenWorkerInvariant re-runs the golden configuration at
 // a high worker count: the formatted output must not move by a byte.
 func TestTable2GoldenWorkerInvariant(t *testing.T) {

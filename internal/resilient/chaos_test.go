@@ -24,6 +24,7 @@ import (
 	"mstx/internal/fault"
 	"mstx/internal/mcengine"
 	"mstx/internal/resilient"
+	"mstx/internal/soc"
 	"mstx/internal/spectest"
 )
 
@@ -318,6 +319,76 @@ func TestChaosCampaignStages(t *testing.T) {
 		}
 		resilient.Install(nil)
 	}
+	settle(t, baseline)
+}
+
+// chaosSOC is a small two-core SOC for the scheduler chaos cases.
+func chaosSOC() *soc.SOC {
+	return &soc.SOC{Name: "chaos", Cores: []soc.Core{
+		{ID: "a", Name: "a", Kind: "analog", WrapperWidth: 4, Tests: []soc.Test{
+			{Name: "t0", Cycles: 4000, Settle: 100, MaxWidth: 4, Resources: []string{"dig"}},
+			{Name: "t1", Cycles: 2000, Settle: 50, MaxWidth: 2},
+		}},
+		{ID: "b", Name: "b", Kind: "digital", WrapperWidth: 3, Tests: []soc.Test{
+			{Name: "t0", Cycles: 3000, MaxWidth: 3},
+			{Name: "t1", Cycles: 1000, MaxWidth: 3, Resources: []string{"dig"}},
+		}},
+	}}
+}
+
+// TestChaosSOCSchedule drives soc.schedule through the three action
+// classes. The scheduler deliberately runs its width lanes without
+// quarantine — dropping a lane would silently publish a different
+// schedule — so both the error and the panic must surface as run
+// errors, and a delay must not move the schedule by a byte.
+func TestChaosSOCSchedule(t *testing.T) {
+	defer resilient.Install(nil)
+	baseline := runtime.NumGoroutine() + 2
+	s := chaosSOC()
+	widths := []int{2, 4}
+	opts := soc.Options{Iterations: 8, Seed: 3}
+	ref, err := soc.PlanSweep(context.Background(), s, widths, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Error: surfaces as the sweep's error, in lane order.
+	fp := resilient.NewFailpoints()
+	boom := errors.New("chaos err")
+	fp.Set("soc.schedule", resilient.Action{Err: boom, After: 1})
+	resilient.Install(fp)
+	if _, err := soc.PlanSweep(context.Background(), s, widths, opts); !errors.Is(err, boom) {
+		t.Fatalf("err action surfaced as %v", err)
+	}
+	if fp.Hits("soc.schedule") == 0 {
+		t.Fatal("site never fired")
+	}
+
+	// Panic: converts to a *PanicError — never a dropped lane.
+	fp = resilient.NewFailpoints()
+	fp.Set("soc.schedule", resilient.Action{PanicValue: "chaos panic", Times: 1})
+	resilient.Install(fp)
+	_, err = soc.PlanSweep(context.Background(), s, widths, opts)
+	var pe *resilient.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic action surfaced as %v", err)
+	}
+
+	// Delay: the published schedules must be unaffected.
+	fp = resilient.NewFailpoints()
+	fp.Set("soc.schedule", resilient.Action{Delay: time.Millisecond})
+	resilient.Install(fp)
+	got, err := soc.PlanSweep(context.Background(), s, widths, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if got[i].String() != ref[i].String() {
+			t.Fatalf("delay action changed the W=%d schedule:\n%s\nvs\n%s",
+				widths[i], got[i].String(), ref[i].String())
+		}
+	}
+	resilient.Install(nil)
 	settle(t, baseline)
 }
 

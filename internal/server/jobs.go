@@ -10,6 +10,7 @@ import (
 	"mstx/internal/experiments"
 	"mstx/internal/params"
 	"mstx/internal/resilient"
+	"mstx/internal/soc"
 	"mstx/internal/translate"
 )
 
@@ -19,8 +20,9 @@ import (
 // writing the same job share one cache identity).
 type Spec struct {
 	// Kind is "campaign" (spectral fault campaign, E8's long leg),
-	// "mc" (the E6 Table 2 Monte-Carlo study) or "translate" (the
-	// referral-error MC of one propagation-translated parameter).
+	// "mc" (the E6 Table 2 Monte-Carlo study), "translate" (the
+	// referral-error MC of one propagation-translated parameter) or
+	// "soc" (the E9 multi-core SOC TAM schedule sweep).
 	Kind string `json:"kind"`
 	// Seed drives the job's deterministic substreams. Defaults: 1 for
 	// campaign (the CLI's noisy-capture seed), 0 for mc/translate.
@@ -53,6 +55,16 @@ type Spec struct {
 	// default). Part of the reproducibility identity.
 	BatchSize int `json:"batch_size,omitempty"`
 
+	// TAMWidths are the soc TAM bus widths to sweep, each ≥ 1.
+	// Default: the E9 sweep 8, 16, 24, 32, 48.
+	TAMWidths []int `json:"tam_widths,omitempty"`
+	// Cores restricts the soc to these core IDs, no duplicates
+	// (default: every core of the E9 SOC).
+	Cores []string `json:"cores,omitempty"`
+	// Iterations is the soc per-width-lane local-search budget.
+	// Default soc.DefaultIterations.
+	Iterations int `json:"iterations,omitempty"`
+
 	// TimeoutSec bounds the job's run; an expired deadline surfaces as
 	// a partial job, not a failed one. 0 = no limit.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
@@ -74,6 +86,7 @@ type Result struct {
 	Campaign  *CampaignResult  `json:"campaign,omitempty"`
 	MC        *MCResult        `json:"mc,omitempty"`
 	Translate *TranslateResult `json:"translate,omitempty"`
+	SOC       *SOCResult       `json:"soc,omitempty"`
 }
 
 // CampaignResult summarizes a spectral fault campaign.
@@ -104,6 +117,24 @@ type MCLossRow struct {
 	MCFCL     float64 `json:"mc_fcl"`
 	MCYL      float64 `json:"mc_yl"`
 	MCSamples int     `json:"mc_samples"`
+}
+
+// SOCResult summarizes the E9 TAM schedule sweep: one optimized
+// schedule per swept bus width.
+type SOCResult struct {
+	Cores int           `json:"cores"`
+	Tests int           `json:"tests"`
+	Rows  []SOCSweepRow `json:"rows"`
+}
+
+// SOCSweepRow is one TAM width's schedule summary.
+type SOCSweepRow struct {
+	Width          int     `json:"width"`
+	MakespanCycles int64   `json:"makespan_cycles"`
+	BoundCycles    int64   `json:"bound_cycles"`
+	PackWidth      int     `json:"pack_width"`
+	EffectiveWidth int     `json:"effective_width"`
+	Utilization    float64 `json:"utilization"`
 }
 
 // TranslateResult summarizes a referral-error estimation.
@@ -204,10 +235,38 @@ func (sp *Spec) normalize() error {
 		if sp.BatchSize < 0 {
 			return fmt.Errorf("translate batch_size %d must be ≥ 0", sp.BatchSize)
 		}
+	case "soc":
+		if len(sp.TAMWidths) == 0 {
+			sp.TAMWidths = append([]int(nil), experiments.DefaultTAMWidths...)
+		}
+		for _, w := range sp.TAMWidths {
+			if w < 1 {
+				return fmt.Errorf("soc tam_widths entry %d must be ≥ 1", w)
+			}
+		}
+		seen := make(map[string]bool, len(sp.Cores))
+		for _, id := range sp.Cores {
+			if id == "" {
+				return fmt.Errorf("soc cores entry must not be empty")
+			}
+			if seen[id] {
+				return fmt.Errorf("soc duplicate core ID %q", id)
+			}
+			seen[id] = true
+		}
+		if sp.Iterations < 0 {
+			return fmt.Errorf("soc iterations %d must be ≥ 0", sp.Iterations)
+		}
+		if sp.Iterations == 0 {
+			sp.Iterations = soc.DefaultIterations
+		}
+		if sp.Seed == 0 {
+			sp.Seed = experiments.DefaultSOCSeed
+		}
 	case "":
-		return fmt.Errorf("missing job kind (want campaign, mc or translate)")
+		return fmt.Errorf("missing job kind (want campaign, mc, translate or soc)")
 	default:
-		return fmt.Errorf("unknown job kind %q (want campaign, mc or translate)", sp.Kind)
+		return fmt.Errorf("unknown job kind %q (want campaign, mc, translate or soc)", sp.Kind)
 	}
 	if sp.TimeoutSec < 0 {
 		return fmt.Errorf("timeout_sec %g must be ≥ 0", sp.TimeoutSec)
@@ -226,6 +285,8 @@ func newTask(sp *Spec) (task, error) {
 		return &campaignTask{spec: *sp}, nil
 	case "mc":
 		return &mcTask{spec: *sp}, nil
+	case "soc":
+		return &socTask{spec: *sp}, nil
 	default:
 		return &translateTask{spec: *sp}, nil
 	}
@@ -340,6 +401,57 @@ func (t *mcTask) run(ctx context.Context, env taskEnv) (*Result, error) {
 			r.YL = row.Sweep[0].Losses.YL
 		}
 		out.MC.Rows = append(out.MC.Rows, r)
+	}
+	return out, nil
+}
+
+// socTask runs the E9 multi-core SOC test-planning sweep; its Text is
+// exactly what `experiments -e9` prints, for any worker count.
+type socTask struct {
+	spec Spec
+}
+
+func (t *socTask) prepare(_ context.Context) (uint64, error) {
+	h := fnv1a(fnvOffset, fmt.Sprintf("soc|%d|%d|", t.spec.Seed, t.spec.Iterations))
+	for _, w := range t.spec.TAMWidths {
+		h = fnv1a(h, fmt.Sprintf("%d,", w))
+	}
+	h = fnv1a(h, "|")
+	for _, id := range t.spec.Cores {
+		h = fnv1a(h, id+",")
+	}
+	return fnv1a(h, "|"), nil
+}
+
+func (t *socTask) run(ctx context.Context, env taskEnv) (*Result, error) {
+	res, err := experiments.SOCPlan(experiments.SOCOptions{
+		Widths:     t.spec.TAMWidths,
+		Cores:      t.spec.Cores,
+		Iterations: t.spec.Iterations,
+		Seed:       t.spec.Seed,
+		Workers:    env.workers,
+		Ctx:        ctx,
+		Checkpoint: env.ckpt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Text matches `experiments -e9` stdout byte for byte: the CLI
+	// Fprintln's Format(), so the last table ends with a blank line.
+	out := &Result{
+		Kind: "soc",
+		Text: res.Format() + "\n",
+		SOC:  &SOCResult{Cores: len(res.SOC.Cores), Tests: res.SOC.NumTests()},
+	}
+	for i, sch := range res.Schedules {
+		out.SOC.Rows = append(out.SOC.Rows, SOCSweepRow{
+			Width:          res.Widths[i],
+			MakespanCycles: sch.Makespan,
+			BoundCycles:    sch.LowerBound,
+			PackWidth:      sch.PackWidth,
+			EffectiveWidth: sch.EffectiveWidth,
+			Utilization:    sch.Utilization(),
+		})
 	}
 	return out, nil
 }

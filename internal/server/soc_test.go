@@ -1,0 +1,268 @@
+package server
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mstx/internal/resilient"
+)
+
+// quickSOC is the fast deterministic soc job used by the service
+// tests: a narrow width sweep and a small local-search budget.
+func quickSOC() Spec {
+	return Spec{Kind: "soc", TAMWidths: []int{4, 8}, Iterations: 8, Seed: 7}
+}
+
+// TestConcurrentSOCSubmits is the soc single-flight race test: N
+// tenants submit copies of the same schedule sweep concurrently; the
+// scheduler must run exactly once (one cache miss, N·M−1 hits) and
+// every tenant must see the identical result text and payload.
+func TestConcurrentSOCSubmits(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	const tenants = 3
+	const perTenant = 4
+	srv, err := New(Config{
+		Workers:            4,
+		MaxQueuedTotal:     tenants * perTenant,
+		MaxQueuedPerTenant: perTenant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var all []*Job
+	var wg sync.WaitGroup
+	for i := 0; i < tenants; i++ {
+		tenant := string(rune('a' + i))
+		for k := 0; k < perTenant; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				j, err := srv.Submit(tenant, quickSOC())
+				if err != nil {
+					t.Errorf("submit %s: %v", tenant, err)
+					return
+				}
+				mu.Lock()
+				all = append(all, j)
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	var refText string
+	for _, j := range all {
+		select {
+		case <-j.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("job %s never finished", j.ID)
+		}
+		snap := srv.Snapshot(j)
+		if snap.State != StateDone {
+			t.Fatalf("job %s ended %s %+v", j.ID, snap.State, snap.Error)
+		}
+		if snap.Result.SOC == nil || len(snap.Result.SOC.Rows) != 2 {
+			t.Fatalf("job %s payload: %+v", j.ID, snap.Result.SOC)
+		}
+		if refText == "" {
+			refText = snap.Result.Text
+		}
+		if snap.Result.Text != refText {
+			t.Fatalf("divergent result for job %s", j.ID)
+		}
+	}
+
+	c := srv.Registry().Counters()
+	total := int64(tenants * perTenant)
+	if c["server_cache_misses_total"] != 1 {
+		t.Fatalf("scheduler ran %d times for one identity", c["server_cache_misses_total"])
+	}
+	if c["server_cache_hits_total"] != total-1 {
+		t.Fatalf("cache hits %d, want %d", c["server_cache_hits_total"], total-1)
+	}
+
+	srv.Close()
+	settle(t, baseline)
+}
+
+// TestSOCServiceRoundTrip covers the soc kind over HTTP: an infeasible
+// spec is a typed 400 before any job is admitted (zero TAM width,
+// duplicate core IDs, negative iterations), and a feasible one runs to
+// done with the sweep payload populated.
+func TestSOCServiceRoundTrip(t *testing.T) {
+	srv, ts := newTestService(t, Config{Workers: 1})
+
+	bad := []struct {
+		name string
+		spec Spec
+		want string
+	}{
+		{"zero width", Spec{Kind: "soc", TAMWidths: []int{8, 0}}, "tam_widths"},
+		{"duplicate cores", Spec{Kind: "soc", Cores: []string{"rx-a", "rx-a"}}, "duplicate core ID"},
+		{"negative iterations", Spec{Kind: "soc", Iterations: -1}, "iterations"},
+	}
+	for _, tc := range bad {
+		resp, snap := postJob(t, ts, "", tc.spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %s, want 400", tc.name, resp.Status)
+		}
+		if snap.Error == nil || snap.Error.Type != ErrTypeBadRequest {
+			t.Fatalf("%s: error body %+v", tc.name, snap.Error)
+		}
+		if !strings.Contains(snap.Error.Message, tc.want) {
+			t.Fatalf("%s: message %q lacks %q", tc.name, snap.Error.Message, tc.want)
+		}
+	}
+
+	// Feasible spec, restricted to a core subset: runs to done with the
+	// per-width payload and CLI-diffable text.
+	spec := quickSOC()
+	spec.Cores = []string{"fir-c", "fir-d"}
+	resp, snap := postJob(t, ts, "acme", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: %s", resp.Status)
+	}
+	final := waitTerminal(t, ts, snap.ID)
+	if final.State != StateDone {
+		t.Fatalf("job ended %s %+v", final.State, final.Error)
+	}
+	p := final.Result.SOC
+	if p == nil || p.Cores != 2 || p.Tests != 4 || len(p.Rows) != 2 {
+		t.Fatalf("soc payload: %+v", p)
+	}
+	for i, row := range p.Rows {
+		if row.Width != spec.TAMWidths[i] {
+			t.Fatalf("row %d width %d, want %d", i, row.Width, spec.TAMWidths[i])
+		}
+		if row.MakespanCycles < row.BoundCycles || row.MakespanCycles <= 0 {
+			t.Fatalf("row %d bounds: %+v", i, row)
+		}
+	}
+	if !strings.Contains(final.Result.Text, "TAM sweep") {
+		t.Fatalf("result text is not the E9 table:\n%s", final.Result.Text)
+	}
+
+	// An unknown core ID is not a spec-shape error: it fails the job
+	// with a typed engine error naming the ID.
+	spec = quickSOC()
+	spec.Cores = []string{"no-such-core"}
+	resp, snap = postJob(t, ts, "acme", spec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("unknown core submit: %s", resp.Status)
+	}
+	final = waitTerminal(t, ts, snap.ID)
+	if final.State != StateFailed || final.Error == nil || final.Error.Type != ErrTypeEngine {
+		t.Fatalf("unknown core: got %s %+v", final.State, final.Error)
+	}
+	if !strings.Contains(final.Error.Message, "no-such-core") {
+		t.Fatalf("unknown core message %q", final.Error.Message)
+	}
+
+	srv.Close()
+}
+
+// TestSOCKillAndResume extends the PR 7 ledger suite to the soc kind:
+// SIGKILL-style stop mid-sweep, then a fresh server on the same
+// checkpoint directory. The resumed schedule must be bit-identical to
+// an uninterrupted run — which for the default spec is exactly the
+// checked-in E9 golden.
+func TestSOCKillAndResume(t *testing.T) {
+	defer resilient.Install(nil)
+	baseline := runtime.NumGoroutine()
+	dir := t.TempDir()
+
+	// Reference: the uninterrupted run, straight through the adapter.
+	spec := Spec{Kind: "soc"}
+	tk, err := newTask(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tk.prepare(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := tk.run(t.Context(), taskEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server A: slow every width lane down so the kill lands mid-sweep,
+	// with a checkpoint after every completed lane.
+	fp := resilient.NewFailpoints()
+	fp.Set("soc.schedule", resilient.Action{Delay: 5 * time.Millisecond})
+	resilient.Install(fp)
+	srvA, err := New(Config{Workers: 1, CheckpointDir: dir, CheckpointEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := srvA.Submit("crash", Spec{Kind: "soc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	jobDir := filepath.Join(dir, "job_"+j.ID)
+	for {
+		if ents, err := os.ReadDir(jobDir); err == nil && len(ents) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no scheduler checkpoint appeared before the kill")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	srvA.Kill()
+	resilient.Install(nil)
+	if s := srvA.Snapshot(j); s.State != StateRunning && s.State != StateQueued {
+		t.Fatalf("killed job transitioned to %s; ledger would not resume it", s.State)
+	}
+	if fp.Hits("soc.schedule") == 0 {
+		t.Fatal("soc.schedule never fired")
+	}
+
+	// Server B: same directory, resume on.
+	srvB, err := New(Config{Workers: 1, CheckpointDir: dir, CheckpointEvery: 1, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvB.Close()
+	jB, ok := srvB.Get(j.ID)
+	if !ok {
+		t.Fatalf("job %s not replayed from the ledger", j.ID)
+	}
+	select {
+	case <-jB.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatal("resumed job never finished")
+	}
+	final := srvB.Snapshot(jB)
+	if final.State != StateDone {
+		t.Fatalf("resumed job ended %s %+v", final.State, final.Error)
+	}
+	if final.Result.Text != ref.Text {
+		t.Fatalf("resumed result differs from uninterrupted run:\n--- resumed\n%s--- reference\n%s",
+			final.Result.Text, ref.Text)
+	}
+
+	// The default spec is the golden configuration, so the resumed
+	// result must also match the checked-in E9 golden byte for byte.
+	golden, err := os.ReadFile(filepath.Join("..", "experiments", "testdata", "e9_schedule.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimRight(final.Result.Text, "\n") != strings.TrimRight(string(golden), "\n") {
+		t.Fatalf("resumed result differs from the E9 golden:\n%s", final.Result.Text)
+	}
+
+	srvB.Close()
+	settle(t, baseline)
+}

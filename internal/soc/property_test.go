@@ -1,0 +1,266 @@
+// The scheduler property wall (ISSUE 8): testing/quick over randomly
+// generated SOCs pins the contracts the rest of the system leans on —
+// resource feasibility, the certified lower bound and the serial
+// upper bound, idle-free-or-justified placement, byte-identical
+// output across worker counts, and TAM-width monotonicity.
+package soc
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// socCase is one generated scheduling problem.
+type socCase struct {
+	S     *SOC
+	W     int
+	Wider int // second width > W for the monotonicity check
+	Seed  int64
+	Iters int
+}
+
+// genCase draws a bounded random SOC: 1-4 cores, 1-4 tests each,
+// small volumes, wrapper widths 1-8, test width caps 1-6, and each
+// test holding a random subset of the two shared testers.
+func genCase(rng *rand.Rand) socCase {
+	s := &SOC{Name: "prop"}
+	resPool := []string{"awg", "digitizer"}
+	nc := 1 + rng.Intn(4)
+	for c := 0; c < nc; c++ {
+		core := Core{
+			ID: fmt.Sprintf("c%d", c), Name: "core", Kind: "x",
+			WrapperWidth: 1 + rng.Intn(8),
+		}
+		nt := 1 + rng.Intn(4)
+		for t := 0; t < nt; t++ {
+			tt := Test{
+				Name:     fmt.Sprintf("t%d", t),
+				Cycles:   1 + int64(rng.Intn(5000)),
+				Settle:   int64(rng.Intn(200)),
+				MaxWidth: 1 + rng.Intn(6),
+			}
+			for _, r := range resPool {
+				if rng.Intn(3) == 0 {
+					tt.Resources = append(tt.Resources, r)
+				}
+			}
+			core.Tests = append(core.Tests, tt)
+		}
+		s.Cores = append(s.Cores, core)
+	}
+	w := 1 + rng.Intn(10)
+	return socCase{
+		S: s, W: w, Wider: w + 1 + rng.Intn(6),
+		Seed:  rng.Int63(),
+		Iters: 4 + rng.Intn(13),
+	}
+}
+
+// quickCfg builds a deterministic quick.Check configuration whose
+// Values hook draws from genCase.
+func quickCfg(seed int64, maxCount int) *quick.Config {
+	return &quick.Config{
+		MaxCount: maxCount,
+		Rand:     rand.New(rand.NewSource(seed)),
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(genCase(rng))
+		},
+	}
+}
+
+// TestPropertyFeasibleAndBounded: every schedule places every test
+// exactly once with no overlap on a TAM wire, within a core, or on an
+// exclusive resource, and its makespan sits between the certified
+// lower bound and the serial sum (all enforced by Schedule.Validate).
+func TestPropertyFeasibleAndBounded(t *testing.T) {
+	prop := func(c socCase) bool {
+		sch, err := Plan(context.Background(), c.S, c.W, Options{Seed: c.Seed, Iterations: c.Iters})
+		if err != nil {
+			t.Logf("plan: %v", err)
+			return false
+		}
+		if err := sch.Validate(c.S); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(11, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyWorkerInvariance: the published schedule is
+// byte-identical for any worker count (the lane decomposition, not
+// the pool, defines the result).
+func TestPropertyWorkerInvariance(t *testing.T) {
+	prop := func(c socCase) bool {
+		var base string
+		for _, workers := range []int{1, 2, 5} {
+			sch, err := Plan(context.Background(), c.S, c.W, Options{
+				Seed: c.Seed, Iterations: c.Iters, Workers: workers,
+			})
+			if err != nil {
+				t.Logf("plan workers=%d: %v", workers, err)
+				return false
+			}
+			if base == "" {
+				base = sch.String()
+			} else if sch.String() != base {
+				t.Logf("workers=%d differs:\n%s\nvs\n%s", workers, sch.String(), base)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(23, 25)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMonotone: a wider TAM never increases the optimal test
+// time — guaranteed by construction (the candidate lane set for W+k
+// is a superset of the one for W), checked here end to end.
+func TestPropertyMonotone(t *testing.T) {
+	prop := func(c socCase) bool {
+		scheds, err := PlanSweep(context.Background(), c.S, []int{c.W, c.Wider}, Options{
+			Seed: c.Seed, Iterations: c.Iters,
+		})
+		if err != nil {
+			t.Logf("sweep: %v", err)
+			return false
+		}
+		if scheds[1].Makespan > scheds[0].Makespan {
+			t.Logf("W=%d makespan %d > W=%d makespan %d",
+				c.Wider, scheds[1].Makespan, c.W, scheds[0].Makespan)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(37, 40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyJustifiedPlacement: the schedule is idle-free or
+// justified — no test can slide to any earlier candidate start (time
+// zero or another test's end) at its assigned width without violating
+// a wire, core, or resource constraint against the rest of the
+// schedule. This is the list-scheduling no-needless-idle contract.
+func TestPropertyJustifiedPlacement(t *testing.T) {
+	prop := func(c socCase) bool {
+		sch, err := Plan(context.Background(), c.S, c.W, Options{Seed: c.Seed, Iterations: c.Iters})
+		if err != nil {
+			t.Logf("plan: %v", err)
+			return false
+		}
+		if err := justified(sch); err != nil {
+			t.Logf("unjustified idle: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg(53, 30)); err != nil {
+		t.Error(err)
+	}
+}
+
+// justified reports an error if any assignment could start at an
+// earlier candidate time with every other assignment fixed.
+func justified(sch *Schedule) error {
+	for i := range sch.Assignments {
+		a := &sch.Assignments[i]
+		cands := []int64{0}
+		for j := range sch.Assignments {
+			if j != i {
+				cands = append(cands, sch.Assignments[j].End())
+			}
+		}
+		sort.Slice(cands, func(x, y int) bool { return cands[x] < cands[y] })
+		var prev int64 = -1
+		for _, st := range cands {
+			if st == prev || st >= a.Start {
+				continue
+			}
+			prev = st
+			if fitsAt(sch, i, st) {
+				return fmt.Errorf("%s/%s at %d could start at %d", a.Core, a.Test, a.Start, st)
+			}
+		}
+	}
+	return nil
+}
+
+// fitsAt reports whether assignment i could run at start st (same
+// width, any wire of the packing bus) without conflicting with the
+// other assignments. The check runs at PackWidth: wires beyond it are
+// idle because every wider lane packed worse, which is the lane
+// comparison's justification, not the packer's.
+func fitsAt(sch *Schedule, i int, st int64) bool {
+	a := &sch.Assignments[i]
+	occ := make([]bool, sch.PackWidth)
+	for j := range sch.Assignments {
+		if j == i {
+			continue
+		}
+		b := &sch.Assignments[j]
+		if st >= b.End() || b.Start >= st+a.Duration {
+			continue
+		}
+		if b.Core == a.Core {
+			return false
+		}
+		for _, ra := range a.Resources {
+			for _, rb := range b.Resources {
+				if ra == rb {
+					return false
+				}
+			}
+		}
+		for k := b.Wire; k < b.Wire+b.Width; k++ {
+			occ[k] = true
+		}
+	}
+	run := 0
+	for k := 0; k < sch.PackWidth; k++ {
+		if occ[k] {
+			run = 0
+			continue
+		}
+		if run++; run == a.Width {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPropertyDurationMonotone: a test's duration never increases
+// with more wires and never drops below settle + 1 cycle.
+func TestPropertyDurationMonotone(t *testing.T) {
+	prop := func(cycles uint16, settle uint8, maxW uint8, w uint8) bool {
+		tt := Test{
+			Name:   "t",
+			Cycles: 1 + int64(cycles), Settle: int64(settle),
+			MaxWidth: 1 + int(maxW%12),
+		}
+		width := int(w % 16)
+		d, dNext := tt.Duration(width), tt.Duration(width+1)
+		if dNext > d {
+			t.Logf("duration rose from %d to %d at width %d", d, dNext, width)
+			return false
+		}
+		if min := tt.Settle + 1; d < min {
+			t.Logf("duration %d below floor %d", d, min)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(71))}); err != nil {
+		t.Error(err)
+	}
+}

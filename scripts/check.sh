@@ -46,10 +46,19 @@ go test -race -count=2 ./internal/campaign ./internal/mcengine ./internal/obs
 echo "== chaos suite (failpoints, race) =="
 # Deterministic fault injection at the registered engine sites
 # (mcengine.lane, fault.batch, campaign.sim_batch/detect_batch,
-# resilient.checkpoint.save): injected errors, panics and slow batches
-# must never leak goroutines, lose samples, or corrupt the partial
-# accounting. -count=2 so a cached result never masks a race.
+# soc.schedule, resilient.checkpoint.save): injected errors, panics
+# and slow batches must never leak goroutines, lose samples, or
+# corrupt the partial accounting. -count=2 so a cached result never
+# masks a race.
 go test -race -count=2 ./internal/resilient ./internal/fault
+
+echo "== SOC scheduler property wall (race) =="
+# The internal/soc quick.Check suite: every published schedule
+# feasible and bounded (LB <= makespan <= serial), worker-count
+# invariant, monotone in TAM width, and every placement justified at
+# its packing width. -count=2: the width lanes run on the shared
+# mcengine pool.
+go test -race -count=2 ./internal/soc
 
 echo "== service suite (mstxd scheduler/cache/SSE, race) =="
 # The job service end to end: submit/stream/cancel/cache-hit round
@@ -77,10 +86,12 @@ wait "$smoke_pid" 2>/dev/null || true
     -checkpoint "$tmp/ckpt" -resume >"$tmp/resumed.txt" 2>/dev/null
 diff "$tmp/base.txt" "$tmp/resumed.txt"
 
-echo "== golden diff (E6 Table 2) =="
-# Byte-for-byte against the checked-in golden; regenerate deliberately
-# with: go test ./internal/experiments -run Table2Golden -update
-go test -count=1 ./internal/experiments -run 'Table2Golden'
+echo "== golden diff (E6 Table 2, E9 SOC schedule) =="
+# Byte-for-byte against the checked-in goldens; regenerate
+# deliberately with:
+#   go test ./internal/experiments -run Table2Golden -update
+#   go test ./internal/experiments -run E9ScheduleGolden -update
+go test -count=1 ./internal/experiments -run 'Table2Golden|E9ScheduleGolden'
 
 echo "== mstxd smoke (serve, submit E6 job, diff against CLI) =="
 # Boot the real service binary, submit the quick E6 study as an "mc"
@@ -108,6 +119,21 @@ diff "$tmp/mstxd_table2.txt" "$tmp/cli_table2.txt"
     -submit '{"kind":"mc","devices":6}' >"$tmp/mstxd_cached.txt" 2>"$tmp/resub.log"
 grep -q 'served from cache' "$tmp/resub.log"
 diff "$tmp/mstxd_table2.txt" "$tmp/mstxd_cached.txt"
+
+echo "== mstxd smoke (submit E9 soc job, diff against CLI) =="
+# Same contract for the soc kind: the schedule sweep the service
+# returns must be byte-identical to `experiments -e9` at the same
+# configuration (-quick sweeps widths 4/8/16 at 16 iterations), and
+# the resubmission must be a cache hit with identical bytes.
+"$tmp/mstxd" -connect "$addr" -tenant smoke -wait \
+    -submit '{"kind":"soc","tam_widths":[4,8,16],"iterations":16}' >"$tmp/mstxd_e9.txt"
+"$tmp/experiments" -e9 -quick >"$tmp/cli_e9.txt" 2>/dev/null
+diff "$tmp/mstxd_e9.txt" "$tmp/cli_e9.txt"
+"$tmp/mstxd" -connect "$addr" -tenant smoke -wait \
+    -submit '{"kind":"soc","tam_widths":[4,8,16],"iterations":16}' \
+    >"$tmp/mstxd_e9_cached.txt" 2>"$tmp/resub_e9.log"
+grep -q 'served from cache' "$tmp/resub_e9.log"
+diff "$tmp/mstxd_e9.txt" "$tmp/mstxd_e9_cached.txt"
 kill -TERM "$mstxd_pid" 2>/dev/null || true
 wait "$mstxd_pid" 2>/dev/null || true
 
@@ -142,6 +168,15 @@ go test -run '^$' -bench 'BenchmarkSpectralCampaign' -benchmem -benchtime 3x \
     . >"$tmp/bench_campaign.txt"
 go run ./cmd/benchrecord -out BENCH_campaign.json -sha "$sha" -date "$now" \
     -compare -max-ns-regress 25 <"$tmp/bench_campaign.txt"
+
+echo "== bench record + regression gate (SOC scheduler pair) =="
+# The E9 rectangle packer at W=32, parallel lanes vs -workers 1; the
+# trajectory keeps the scheduler's cost visible as the SOC model and
+# the local search grow.
+go test -run '^$' -bench 'BenchmarkSOCSchedule' -benchmem -benchtime 3x \
+    . >"$tmp/bench_soc.txt"
+go run ./cmd/benchrecord -out BENCH_soc.json -sha "$sha" -date "$now" \
+    -compare -max-ns-regress 25 <"$tmp/bench_soc.txt"
 
 echo "== fuzz smoke (netlist parser) =="
 # Ten seconds of coverage-guided fuzzing on top of the checked-in seed
