@@ -10,26 +10,32 @@
 //	      [-workers N] [-engine-workers K]
 //	      [-max-queued N] [-max-queued-tenant N] [-weights t=w,...]
 //	      [-checkpoint dir] [-checkpoint-every n] [-resume]
+//	      [-retry-max N] [-retry-base d] [-default-deadline d] [-max-deadline d]
+//	      [-breaker-window N] [-breaker-threshold f] [-breaker-open-for d]
 //
 // Client:
 //
 //	mstxd -connect host:port -submit '{"kind":"mc","devices":6}'
-//	      [-tenant name] [-wait] [-events]
+//	      [-tenant name] [-wait] [-events] [-timeout d]
 //
 // Job kinds: "campaign" (spectral fault campaign), "mc" (E6 Table 2
 // study), "translate" (referral-error MC) and "soc" (E9 multi-core
 // SOC TAM schedule sweep).
 //
-// The server installs the full API under /v1 plus the obs debug
-// surface (/metrics, /trace, /debug/pprof) on one listener; SIGINT or
-// SIGTERM stops it gracefully, leaving in-flight jobs resumable when
-// -checkpoint is set. The client submits one job; with -wait it polls
-// to a terminal state, prints the result text to stdout (so output is
-// diffable against the equivalent CLI run) and exits 0 for done, 3
-// for partial, 1 otherwise.
+// The server installs the full API under /v1 plus /healthz, /readyz
+// and the obs debug surface (/metrics, /trace, /debug/pprof) on one
+// listener; SIGINT or SIGTERM stops it gracefully, leaving in-flight
+// jobs resumable when -checkpoint is set. The client submits one job;
+// with -wait it polls to a terminal state, prints the result text to
+// stdout (so output is diffable against the equivalent CLI run) and
+// exits 0 for done, 3 for partial (including a deadline-expired job
+// with a salvaged partial result), 4 when -timeout expires client-side
+// and 1 otherwise.
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -55,7 +61,7 @@ func main() {
 // run is the testable entry point. ready, when non-nil, receives the
 // bound listen address once the server is accepting (tests use it
 // instead of -addr-file). Exit codes: 0 ok, 1 failure, 2 usage, 3
-// partial result (client -wait).
+// partial result (client -wait), 4 client-side -timeout expiry.
 func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	fs := flag.NewFlagSet("mstxd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -71,11 +77,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		ckptEvery = fs.Int("checkpoint-every", 0, "engine snapshot cadence in engine units (<=1 every unit)")
 		resume    = fs.Bool("resume", false, "replay the ledger in -checkpoint on startup")
 
+		retryMax   = fs.Int("retry-max", 2, "automatic retries per job for retryable engine failures (0 disables)")
+		retryBase  = fs.Duration("retry-base", 100*time.Millisecond, "retry backoff base (exponential, capped, jittered)")
+		defDeadl   = fs.Duration("default-deadline", 0, "default per-job wall budget when the spec has no deadline_ms (0 = unlimited)")
+		maxDeadl   = fs.Duration("max-deadline", 0, "cap on every job's wall budget (0 = no cap)")
+		brkWindow  = fs.Int("breaker-window", 16, "circuit-breaker outcome window per job kind")
+		brkThresh  = fs.Float64("breaker-threshold", 0.5, "windowed failure rate that opens a kind's breaker")
+		brkOpenFor = fs.Duration("breaker-open-for", 5*time.Second, "how long an open breaker sheds before probing")
+		heartbeat  = fs.Duration("heartbeat", 15*time.Second, "SSE comment-ping interval keeping idle event streams alive")
+
 		connect = fs.String("connect", "", "client mode: server address to talk to")
 		submit  = fs.String("submit", "", "client mode: job spec JSON to submit")
 		tenant  = fs.String("tenant", "", "client mode: tenant name (X-Mstx-Tenant)")
 		wait    = fs.Bool("wait", false, "client mode: poll the job to a terminal state and print its result text")
 		events  = fs.Bool("events", false, "client mode: stream the job's SSE events to stderr while waiting")
+		timeout = fs.Duration("timeout", 0, "client mode: overall wall budget for -wait/-events (0 = none; exit 4 on expiry)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,7 +102,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 	}
 
 	if *connect != "" {
-		return runClient(*connect, *submit, *tenant, *wait, *events, stdout, stderr)
+		return runClient(*connect, *submit, *tenant, *wait, *events, *timeout, stdout, stderr)
 	}
 
 	w, err := parseWeights(*weights)
@@ -103,6 +119,14 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) int {
 		CheckpointDir:      *ckptDir,
 		CheckpointEvery:    *ckptEvery,
 		Resume:             *resume,
+		RetryMax:           *retryMax,
+		RetryBase:          *retryBase,
+		DefaultDeadline:    *defDeadl,
+		MaxDeadline:        *maxDeadl,
+		BreakerWindow:      *brkWindow,
+		BreakerThreshold:   *brkThresh,
+		BreakerOpenFor:     *brkOpenFor,
+		Heartbeat:          *heartbeat,
 		Registry:           obs.New(),
 	})
 	if err != nil {
@@ -173,13 +197,25 @@ func parseWeights(s string) (map[string]int, error) {
 }
 
 // runClient submits one job and optionally waits for its result.
-func runClient(addr, spec, tenant string, wait, events bool, stdout, stderr io.Writer) int {
+// timeout, when positive, bounds the whole client interaction (submit,
+// polling, event streaming) so a wedged server can't hang the client;
+// expiry exits 4.
+func runClient(addr, spec, tenant string, wait, events bool, timeout time.Duration, stdout, stderr io.Writer) int {
 	if spec == "" {
 		fmt.Fprintln(stderr, "mstxd: -connect requires -submit JSON")
 		return 2
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	timedOut := func(err error) bool {
+		return ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded)
+	}
 	base := "http://" + addr
-	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", strings.NewReader(spec))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", strings.NewReader(spec))
 	if err != nil {
 		fmt.Fprintf(stderr, "mstxd: %v\n", err)
 		return 1
@@ -190,6 +226,10 @@ func runClient(addr, spec, tenant string, wait, events bool, stdout, stderr io.W
 	}
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
+		if timedOut(err) {
+			fmt.Fprintf(stderr, "mstxd: submit: client timeout after %s\n", timeout)
+			return 4
+		}
 		fmt.Fprintf(stderr, "mstxd: submit: %v\n", err)
 		return 1
 	}
@@ -211,11 +251,20 @@ func runClient(addr, spec, tenant string, wait, events bool, stdout, stderr io.W
 	}
 
 	if events {
-		go streamEvents(base, snap.ID, stderr)
+		go streamEvents(ctx, base, snap.ID, stderr)
 	}
 	for {
-		resp, err := http.Get(base + "/v1/jobs/" + snap.ID)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+snap.ID, nil)
 		if err != nil {
+			fmt.Fprintf(stderr, "mstxd: poll: %v\n", err)
+			return 1
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			if timedOut(err) {
+				fmt.Fprintf(stderr, "mstxd: job %s: client timeout after %s\n", snap.ID, timeout)
+				return 4
+			}
 			fmt.Fprintf(stderr, "mstxd: poll: %v\n", err)
 			return 1
 		}
@@ -237,6 +286,19 @@ func runClient(addr, spec, tenant string, wait, events bool, stdout, stderr io.W
 				return 3
 			}
 			return 0
+		case server.StateDeadline:
+			// The job's own wall budget expired server-side. A salvaged
+			// partial result is still a (partial) result.
+			msg := snap.State
+			if snap.Error != nil {
+				msg = fmt.Sprintf("%s (%s: %s)", snap.State, snap.Error.Type, snap.Error.Message)
+			}
+			fmt.Fprintf(stderr, "mstxd: job %s %s\n", snap.ID, msg)
+			if snap.Result != nil {
+				fmt.Fprint(stdout, snap.Result.Text)
+				return 3
+			}
+			return 1
 		case server.StateFailed, server.StateCanceled:
 			msg := snap.State
 			if snap.Error != nil {
@@ -245,16 +307,42 @@ func runClient(addr, spec, tenant string, wait, events bool, stdout, stderr io.W
 			fmt.Fprintf(stderr, "mstxd: job %s %s\n", snap.ID, msg)
 			return 1
 		}
-		time.Sleep(150 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			fmt.Fprintf(stderr, "mstxd: job %s: client timeout after %s\n", snap.ID, timeout)
+			return 4
+		case <-time.After(150 * time.Millisecond):
+		}
 	}
 }
 
-// streamEvents copies the job's SSE stream to w until it closes.
-func streamEvents(base, id string, w io.Writer) {
-	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+// streamEvents relays the job's SSE stream to w until it closes or ctx
+// expires.
+func streamEvents(ctx context.Context, base, id string, w io.Writer) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return
 	}
 	defer resp.Body.Close()
-	_, _ = io.Copy(w, resp.Body)
+	_ = relaySSE(resp.Body, w)
+}
+
+// relaySSE copies SSE field lines from r to w, dropping the protocol
+// noise a human tail doesn't want: blank event separators and
+// `:`-prefixed comment lines (the server's heartbeat pings).
+func relaySSE(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, ":") {
+			continue
+		}
+		fmt.Fprintln(w, line)
+	}
+	return sc.Err()
 }

@@ -114,3 +114,68 @@ func TestClientUsageErrors(t *testing.T) {
 		t.Fatalf("bad weights: exit %d", code)
 	}
 }
+
+// TestRelaySSE: the client-side SSE relay forwards event and data
+// lines verbatim but swallows blank separators and ": ping" heartbeat
+// comments — heartbeats keep proxies alive, they are not payload.
+func TestRelaySSE(t *testing.T) {
+	in := strings.NewReader(": ping\n\nevent: span\ndata: {\"n\":1}\n\n: ping\n\nevent: done\ndata: {}\n\n")
+	var out bytes.Buffer
+	if err := relaySSE(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := "event: span\ndata: {\"n\":1}\nevent: done\ndata: {}\n"
+	if out.String() != want {
+		t.Fatalf("relay output %q, want %q", out.String(), want)
+	}
+}
+
+// TestClientTimeout: a client -timeout that expires while the job is
+// still running exits with the dedicated code 4, distinct from job
+// failure (1) and usage errors (2), and says so on stderr.
+func TestClientTimeout(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	ready := make(chan string, 1)
+	var srvErr bytes.Buffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-addr-file", addrFile,
+			"-workers", "1",
+		}, &bytes.Buffer{}, &srvErr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never came up: %s", srvErr.String())
+	}
+
+	// A campaign big enough to outlive a 50ms client budget.
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-connect", addr,
+		"-submit", `{"kind":"campaign","patterns":256}`,
+		"-wait", "-timeout", "50ms",
+	}, &out, &errb, nil)
+	if code != 4 {
+		t.Fatalf("client timeout exit %d, want 4; stderr %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "client timeout") {
+		t.Fatalf("timeout not reported on stderr: %q", errb.String())
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("server exit %d: %s", code, srvErr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server never stopped: %s", srvErr.String())
+	}
+}

@@ -13,7 +13,7 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr %q", code, errOut.String())
 	}
-	for _, name := range []string{"nakedgo", "ctxflow", "determinism", "failpointreg", "obsnil"} {
+	for _, name := range []string{"nakedgo", "ctxflow", "determinism", "failpointreg", "obsnil", "retryckpt"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}

@@ -19,6 +19,10 @@
 //   - obsnil: obs calls on possibly-nil registries stay on the
 //     nil-safe fast path, and metric name literals are globally
 //     consistent (one kind, one geometry, one owning package).
+//   - retryckpt: every task adapter (run(ctx, taskEnv) method) threads
+//     env.ckpt into its engine call, so the supervision layer's
+//     automatic retries resume from the job checkpoint instead of
+//     recomputing completed rounds.
 //
 // The cmd/mstxvet driver runs the catalog over ./... with vet-style
 // file:line diagnostics; scripts/check.sh gates merges on a clean run.
@@ -79,6 +83,7 @@ func Catalog() []*Analyzer {
 		newDeterminism(),
 		newFailpointreg(),
 		newObsnil(),
+		newRetryckpt(),
 	}
 }
 

@@ -34,6 +34,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 		"determinism":  newDeterminism,
 		"failpointreg": newFailpointreg,
 		"obsnil":       newObsnil,
+		"retryckpt":    newRetryckpt,
 	}
 	root := repoRoot(t)
 	for name, mk := range makers {

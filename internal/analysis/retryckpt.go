@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// newRetryckpt builds the retryckpt analyzer: every task adapter — a
+// method named run taking a taskEnv parameter, the server scheduler's
+// engine-dispatch shape — must thread env.ckpt into its engine call.
+// The supervision layer retries retryable failures (engine error,
+// panic quarantine) by re-running the same task; the retry is only
+// cheap and bit-identical because the engine resumes from the job's
+// own checkpoint directory. An adapter that drops env.ckpt silently
+// turns every retry into a from-scratch recompute and breaks the
+// "retries never redo completed rounds" contract, so the gap is a
+// machine-checked finding rather than a code-review hope.
+func newRetryckpt() *Analyzer {
+	a := &Analyzer{
+		Name: "retryckpt",
+		Doc:  "task adapters (run(ctx, taskEnv) methods) must thread env.ckpt so retries resume from the job checkpoint",
+	}
+	a.Run = func(prog *Program, pkg *Package, report Reporter) {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != "run" || fd.Recv == nil || fd.Body == nil {
+					continue
+				}
+				envObj, isAdapter := taskEnvParam(pkg.Info, fd)
+				if !isAdapter {
+					continue
+				}
+				if envObj == nil || !usesCkpt(pkg.Info, fd.Body, envObj) {
+					name := "env"
+					if envObj != nil {
+						name = envObj.Name()
+					}
+					report(fd.Pos(),
+						"task adapter %s.run never threads %s.ckpt into its engine call; a retry would recompute from scratch instead of resuming the job checkpoint",
+						recvDeclName(fd), name)
+				}
+			}
+		}
+	}
+	return a
+}
+
+// taskEnvParam finds the run method's taskEnv-typed parameter.
+// isAdapter reports whether one exists (otherwise the method isn't a
+// task adapter and the analyzer moves on); obj is its object, nil for
+// an unnamed or blank parameter — which can't possibly thread the
+// checkpointer and is therefore always a finding.
+func taskEnvParam(info *types.Info, fd *ast.FuncDecl) (obj types.Object, isAdapter bool) {
+	for _, field := range fd.Type.Params.List {
+		t := info.TypeOf(field.Type)
+		if t == nil || !isTaskEnvType(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			return info.ObjectOf(name), true
+		}
+		return nil, true
+	}
+	return nil, false
+}
+
+// isTaskEnvType reports whether t is a named type called taskEnv.
+// Matching by type name rather than import path lets the testdata
+// fixtures declare a local stand-in, the same convention declaredIn
+// uses for obs and resilient.
+func isTaskEnvType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "taskEnv"
+}
+
+// usesCkpt reports whether body contains a selector env.ckpt on the
+// given parameter object.
+func usesCkpt(info *types.Info, body *ast.BlockStmt, env types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "ckpt" {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && info.ObjectOf(id) == env {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// recvDeclName renders the receiver's base type name for diagnostics.
+func recvDeclName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return "?"
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}

@@ -1,0 +1,68 @@
+// Package a is the retryckpt fixture: task adapters (run methods with
+// a taskEnv parameter) must thread env.ckpt into their engine call; a
+// run method without a taskEnv parameter is not an adapter and is
+// ignored.
+package a
+
+import "context"
+
+// taskEnv is the local stand-in for the server scheduler's task
+// environment (matched by type name, like the obs/resilient stubs in
+// the sibling fixtures).
+type taskEnv struct {
+	workers int
+	ckpt    *checkpointer
+}
+
+type checkpointer struct{}
+
+type result struct{}
+
+// engineOptions mimics an engine's options struct with a Checkpoint
+// field the adapter must populate.
+type engineOptions struct {
+	Workers    int
+	Checkpoint *checkpointer
+}
+
+func engineRun(_ context.Context, _ engineOptions) (*result, error) { return &result{}, nil }
+
+// goodTask threads env.ckpt into the engine call.
+type goodTask struct{}
+
+func (t *goodTask) run(ctx context.Context, env taskEnv) (*result, error) {
+	return engineRun(ctx, engineOptions{Workers: env.workers, Checkpoint: env.ckpt})
+}
+
+// badTask takes the env but drops the checkpointer on the floor: a
+// retry of this task would recompute from scratch.
+type badTask struct{}
+
+func (t *badTask) run(ctx context.Context, env taskEnv) (*result, error) { // want `task adapter badTask.run never threads env.ckpt`
+	return engineRun(ctx, engineOptions{Workers: env.workers})
+}
+
+// blankTask discards the whole env, which can't possibly thread the
+// checkpointer either.
+type blankTask struct{}
+
+func (t *blankTask) run(ctx context.Context, _ taskEnv) (*result, error) { // want `task adapter blankTask.run never threads env.ckpt`
+	return engineRun(ctx, engineOptions{})
+}
+
+// notAnAdapter has a run method without a taskEnv parameter; the rule
+// doesn't apply.
+type notAnAdapter struct{}
+
+func (t *notAnAdapter) run(ctx context.Context) (*result, error) {
+	return engineRun(ctx, engineOptions{})
+}
+
+// suppressedTask is audit-trail suppressed and must not be reported.
+type suppressedTask struct{}
+
+//mstxvet:ignore retryckpt fixture exercising the suppression idiom
+func (t *suppressedTask) run(ctx context.Context, env taskEnv) (*result, error) {
+	_ = env.workers
+	return engineRun(ctx, engineOptions{})
+}

@@ -1,0 +1,204 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mstx/internal/obs"
+)
+
+// Circuit breaker, one per job kind. The scheduler records the outcome
+// of every engine attempt (success or retryable failure — client
+// cancels and deadline expiries are the client's problem, not the
+// engine's) into a sliding window; when the windowed failure rate
+// crosses the threshold the breaker opens and Submit sheds that kind
+// with 503 + Retry-After instead of queueing work onto a backend that
+// is currently eating every job. After OpenFor the breaker half-opens:
+// a bounded number of probe jobs are admitted, and the first recorded
+// outcome decides — success closes the breaker (window reset), failure
+// reopens it for another OpenFor.
+//
+// Breakers degrade per kind: an open "campaign" breaker sheds campaign
+// submissions while mc/translate/soc jobs flow untouched, and /readyz
+// reports each kind's state separately rather than a binary bit.
+
+// Breaker states, exported through the per-kind state gauge
+// (server_breaker_<kind>_state) and /readyz.
+const (
+	breakerClosed   = 0
+	breakerOpen     = 1
+	breakerHalfOpen = 2
+)
+
+func breakerStateName(st int) string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerConfig is the per-kind policy (shared by all kinds today).
+type breakerConfig struct {
+	// window is the outcome ring size.
+	window int
+	// minSamples gates the rate check: fewer recorded outcomes than
+	// this never opens the breaker.
+	minSamples int
+	// threshold is the windowed failure rate that opens the breaker.
+	threshold float64
+	// openFor is how long an open breaker sheds before half-opening.
+	openFor time.Duration
+	// probes is how many jobs the half-open state admits per openFor.
+	probes int
+}
+
+// breaker is one kind's circuit breaker. All fields are guarded by mu;
+// obs handles are registered once at construction so state transitions
+// are a lock-free gauge store.
+type breaker struct {
+	kind string
+	cfg  breakerConfig
+	now  func() time.Time
+
+	mu       sync.Mutex
+	state    int
+	outcomes []bool // ring of recent attempt outcomes, true = failure
+	idx      int
+	count    int
+	fails    int
+	openedAt time.Time
+	probing  int // probes admitted since the last half-open entry
+
+	gState  *obs.Gauge
+	cOpened *obs.Counter
+	cClosed *obs.Counter
+	cShed   *obs.Counter
+}
+
+func newBreaker(kind string, cfg breakerConfig, reg *obs.Registry, now func() time.Time) *breaker {
+	b := &breaker{
+		kind:     kind,
+		cfg:      cfg,
+		now:      now,
+		outcomes: make([]bool, cfg.window),
+		gState:   reg.Gauge(fmt.Sprintf("server_breaker_%s_state", kind)),
+		cOpened:  reg.Counter(fmt.Sprintf("server_breaker_%s_opened_total", kind)),
+		cClosed:  reg.Counter(fmt.Sprintf("server_breaker_%s_closed_total", kind)),
+		cShed:    reg.Counter(fmt.Sprintf("server_breaker_%s_shed_total", kind)),
+	}
+	b.gState.Set(breakerClosed)
+	return b
+}
+
+// admit decides whether a new submission of this kind may enter the
+// queue. When it refuses, retryIn is the client's Retry-After hint:
+// the remaining open interval, so a well-behaved client comes back
+// exactly when the breaker starts probing again.
+func (b *breaker) admit() (ok bool, retryIn time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, 0
+	case breakerOpen:
+		elapsed := b.now().Sub(b.openedAt)
+		if elapsed < b.cfg.openFor {
+			b.cShed.Inc()
+			return false, b.cfg.openFor - elapsed
+		}
+		// Open interval over: half-open and fall through to probing.
+		b.setStateLocked(breakerHalfOpen)
+		b.probing = 0
+		b.openedAt = b.now()
+		fallthrough
+	default: // breakerHalfOpen
+		// Probe budget refills every openFor, so a probe lost to a
+		// cache hit (which records no outcome) cannot wedge the
+		// breaker half-open forever.
+		if b.probing >= b.cfg.probes {
+			if b.now().Sub(b.openedAt) < b.cfg.openFor {
+				b.cShed.Inc()
+				return false, b.cfg.openFor - b.now().Sub(b.openedAt)
+			}
+			b.probing = 0
+			b.openedAt = b.now()
+		}
+		b.probing++
+		return true, 0
+	}
+}
+
+// record folds one engine-attempt outcome into the window and drives
+// the state machine. Only real engine attempts are recorded: cache
+// hits never touch the backend and client-side interruptions (cancel,
+// deadline) say nothing about engine health.
+func (b *breaker) record(failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		if failed {
+			// The probe failed: the backend is still sick.
+			b.setStateLocked(breakerOpen)
+			b.cOpened.Inc()
+			b.openedAt = b.now()
+			return
+		}
+		// Probe success: close and forget the bad window.
+		b.setStateLocked(breakerClosed)
+		b.cClosed.Inc()
+		b.resetWindowLocked()
+		return
+	case breakerOpen:
+		// A straggler from before the trip; the window is already
+		// condemned, nothing to learn.
+		return
+	}
+	if b.outcomes[b.idx] && b.count == b.cfg.window {
+		b.fails--
+	}
+	b.outcomes[b.idx] = failed
+	b.idx = (b.idx + 1) % b.cfg.window
+	if b.count < b.cfg.window {
+		b.count++
+	}
+	if failed {
+		b.fails++
+	}
+	if b.count >= b.cfg.minSamples &&
+		float64(b.fails) >= b.cfg.threshold*float64(b.count) {
+		b.setStateLocked(breakerOpen)
+		b.cOpened.Inc()
+		b.openedAt = b.now()
+	}
+}
+
+func (b *breaker) setStateLocked(st int) {
+	b.state = st
+	b.gState.Set(float64(st))
+}
+
+func (b *breaker) resetWindowLocked() {
+	for i := range b.outcomes {
+		b.outcomes[i] = false
+	}
+	b.idx, b.count, b.fails = 0, 0, 0
+}
+
+// snapshot returns the state name and whether the kind is accepting
+// submissions (closed or probing).
+func (b *breaker) snapshot() (state string, ready bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.state
+	if st == breakerOpen && b.now().Sub(b.openedAt) >= b.cfg.openFor {
+		// Would half-open on the next admit; report it as probing.
+		st = breakerHalfOpen
+	}
+	return breakerStateName(st), st != breakerOpen
+}

@@ -22,11 +22,55 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		// Liveness only: the process is up and serving. Degradation
+		// lives on /readyz.
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	obs.RegisterDebug(mux, s.reg)
 	return mux
+}
+
+// readyKind is one job kind's entry in the /readyz body.
+type readyKind struct {
+	// State is the kind's breaker state: closed, open or half_open.
+	State string `json:"state"`
+	// Ready reports whether submissions of this kind are admitted
+	// (closed or probing).
+	Ready bool `json:"ready"`
+}
+
+// readyResponse is the /readyz body: per-kind degradation, not a
+// binary bit. The HTTP status goes 503 only when nothing can be
+// served — shutdown, or every kind's breaker open.
+type readyResponse struct {
+	Ready    bool                 `json:"ready"`
+	Stopping bool                 `json:"stopping,omitempty"`
+	Queued   int                  `json:"queued"`
+	Kinds    map[string]readyKind `json:"kinds"`
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	stopping := s.stopping
+	queued := s.q.queued
+	s.mu.Unlock()
+	resp := readyResponse{Stopping: stopping, Queued: queued, Kinds: make(map[string]readyKind, len(s.breakers))}
+	allOpen := len(s.breakers) > 0
+	for kind, b := range s.breakers {
+		st, ready := b.snapshot()
+		resp.Kinds[kind] = readyKind{State: st, Ready: ready}
+		if ready {
+			allOpen = false
+		}
+	}
+	resp.Ready = !stopping && !allOpen
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
 }
 
 // submitRequest is the POST /v1/jobs body: a job spec plus an optional
@@ -63,10 +107,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		tenant = r.Header.Get("X-Mstx-Tenant")
 	}
 	j, err := s.Submit(tenant, req.Spec)
+	var boe *BreakerOpenError
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		// The hint is computed from the live backlog and drain rate
+		// (configured RetryAfter as the floor), so a saturated queue
+		// tells clients how long it actually needs.
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, ErrTypeQueueFull, err.Error())
+		return
+	case errors.As(err, &boe):
+		w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(boe.RetryAfter)))
+		writeError(w, http.StatusServiceUnavailable, ErrTypeBreakerOpen, err.Error())
 		return
 	case errors.Is(err, ErrStopped):
 		writeError(w, http.StatusServiceUnavailable, ErrTypeShutdown, err.Error())
@@ -110,11 +162,16 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v := s.Snapshot(j)
-	switch v.State {
-	case StateDone, StatePartial:
+	switch {
+	case v.State == StateDone || v.State == StatePartial:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprint(w, v.Result.Text)
-	case StateFailed, StateCanceled:
+	case v.State == StateDeadline && v.Result != nil:
+		// Deadline expiry with a salvaged partial: serve what the
+		// engine finished before the budget ran out.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, v.Result.Text)
+	case terminal(v.State):
 		writeError(w, http.StatusConflict, v.Error.Type, v.Error.Message)
 	default:
 		writeError(w, http.StatusNotFound, ErrTypeNotFound,
@@ -182,8 +239,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			lastCounters = c
 			emit("counters", c)
 		}
-		if v.State == StateDone || v.State == StatePartial ||
-			v.State == StateFailed || v.State == StateCanceled {
+		if terminal(v.State) {
 			emit("done", v)
 			return false
 		}
@@ -195,6 +251,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	tick := time.NewTicker(s.cfg.EventPoll)
 	defer tick.Stop()
+	// Heartbeat comments keep idle streams alive through proxies and
+	// LB idle timeouts; SSE clients ignore `:`-prefixed lines by spec.
+	hb := time.NewTicker(s.cfg.Heartbeat)
+	defer hb.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
@@ -206,6 +266,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		case <-j.Done():
 			poll()
 			return
+		case <-hb.C:
+			fmt.Fprint(w, ": ping\n\n")
+			fl.Flush()
 		case <-tick.C:
 			if !poll() {
 				return

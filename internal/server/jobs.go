@@ -8,6 +8,7 @@ import (
 	"mstx/internal/campaign"
 	"mstx/internal/core"
 	"mstx/internal/experiments"
+	"mstx/internal/fault"
 	"mstx/internal/params"
 	"mstx/internal/resilient"
 	"mstx/internal/soc"
@@ -65,10 +66,20 @@ type Spec struct {
 	// Default soc.DefaultIterations.
 	Iterations int `json:"iterations,omitempty"`
 
-	// TimeoutSec bounds the job's run; an expired deadline surfaces as
-	// a partial job, not a failed one. 0 = no limit.
+	// DeadlineMS is the job's wall budget in milliseconds, spanning
+	// every attempt and retry backoff from first dispatch. 0 = server
+	// default; the server cap applies either way. Expiry lands the job
+	// in the deadline_exceeded terminal state, salvaging whatever
+	// partial result the engine produced.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// TimeoutSec is the legacy spelling of the same budget; normalize
+	// folds it into DeadlineMS when deadline_ms is absent.
 	TimeoutSec float64 `json:"timeout_sec,omitempty"`
 }
+
+// jobKinds enumerates the registered engine kinds; each gets its own
+// circuit breaker and /readyz entry.
+var jobKinds = []string{"campaign", "mc", "translate", "soc"}
 
 // Result is a finished job's payload. Text is the human-readable
 // table — byte-identical to what the corresponding CLI prints — and
@@ -271,6 +282,12 @@ func (sp *Spec) normalize() error {
 	if sp.TimeoutSec < 0 {
 		return fmt.Errorf("timeout_sec %g must be ≥ 0", sp.TimeoutSec)
 	}
+	if sp.DeadlineMS < 0 {
+		return fmt.Errorf("deadline_ms %d must be ≥ 0", sp.DeadlineMS)
+	}
+	if sp.DeadlineMS == 0 && sp.TimeoutSec > 0 {
+		sp.DeadlineMS = int64(sp.TimeoutSec * 1000)
+	}
 	return nil
 }
 
@@ -333,11 +350,22 @@ func (t *campaignTask) run(ctx context.Context, env taskEnv) (*Result, error) {
 		Checkpoint:    env.ckpt,
 	})
 	if err != nil {
+		if resilient.Interrupted(err) && rep != nil && len(rep.Results) > 0 {
+			// The engine hands back what it finished before the
+			// interruption; surface it as a partial result alongside
+			// the error so an expired deadline still salvages the
+			// completed faults.
+			return t.report(rep, stats, true), err
+		}
 		return nil, err
 	}
+	return t.report(rep, stats, stats.Quarantined > 0), nil
+}
+
+func (t *campaignTask) report(rep *fault.Report, stats *campaign.Stats, partial bool) *Result {
 	res := &Result{
 		Kind:    "campaign",
-		Partial: stats.Quarantined > 0,
+		Partial: partial,
 		Campaign: &CampaignResult{
 			Patterns:    t.spec.Patterns,
 			Faults:      len(rep.Results),
@@ -357,8 +385,11 @@ func (t *campaignTask) run(ctx context.Context, env taskEnv) (*Result, error) {
 	if stats.Quarantined > 0 {
 		fmt.Fprintf(&b, "PARTIAL: %d faults quarantined (no verdict)\n", stats.Quarantined)
 	}
+	if partial && stats.Quarantined == 0 {
+		fmt.Fprintf(&b, "PARTIAL: interrupted; verdicts cover completed batches only\n")
+	}
 	res.Text = b.String()
-	return res, nil
+	return res
 }
 
 // mcTask runs the E6 Table 2 Monte-Carlo study; its Text is exactly

@@ -76,6 +76,16 @@ func (q *fairQueue) push(j *Job) bool {
 	return true
 }
 
+// forcePush re-enqueues a job that was already admitted once (a retry
+// coming off its backoff timer): the backlog bounds don't apply — the
+// job never left the server's accounting, so bouncing it here would
+// turn an admitted job into a spurious failure.
+func (q *fairQueue) forcePush(j *Job) {
+	tq := q.tenant(j.Tenant)
+	tq.jobs = append(tq.jobs, j)
+	q.queued++
+}
+
 // pop dequeues the next job by weighted round-robin, or nil when no
 // tenant has work. Two passes: the first spends remaining credits in
 // cursor order; if every backlogged tenant is out of credit the cycle

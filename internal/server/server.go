@@ -25,7 +25,10 @@ import (
 	"mstx/internal/resilient"
 )
 
-// Job states. queued and running are live; the rest are terminal.
+// Job states. queued and running are live (a queued job may be
+// waiting in the fair queue or backing off before a retry); the rest
+// are terminal — see terminal() in supervise.go, the one place that
+// enumerates them.
 const (
 	StateQueued   = "queued"
 	StateRunning  = "running"
@@ -33,18 +36,20 @@ const (
 	StatePartial  = "partial" // finished with quarantined work
 	StateFailed   = "failed"
 	StateCanceled = "canceled"
+	StateDeadline = "deadline_exceeded" // wall budget expired (partial result salvaged when the engine had one)
 )
 
 // Error types carried in typed error bodies and job views.
 const (
-	ErrTypeBadRequest = "bad_request"
-	ErrTypeNotFound   = "not_found"
-	ErrTypeQueueFull  = "queue_full"
-	ErrTypeCanceled   = "canceled"
-	ErrTypeDeadline   = "deadline"
-	ErrTypePanic      = "panic"
-	ErrTypeEngine     = "engine"
-	ErrTypeShutdown   = "shutdown"
+	ErrTypeBadRequest  = "bad_request"
+	ErrTypeNotFound    = "not_found"
+	ErrTypeQueueFull   = "queue_full"
+	ErrTypeCanceled    = "canceled"
+	ErrTypeDeadline    = "deadline"
+	ErrTypePanic       = "panic"
+	ErrTypeEngine      = "engine"
+	ErrTypeShutdown    = "shutdown"
+	ErrTypeBreakerOpen = "breaker_open"
 )
 
 // ErrQueueFull is returned by Submit when admission control rejects
@@ -53,6 +58,18 @@ var ErrQueueFull = errors.New("server: queue full")
 
 // ErrStopped is returned by Submit after Close/Kill.
 var ErrStopped = errors.New("server: stopped")
+
+// BreakerOpenError is returned by Submit while the job kind's circuit
+// breaker is shedding load; the HTTP layer maps it to 503 with
+// Retry-After = the remaining open interval.
+type BreakerOpenError struct {
+	Kind       string
+	RetryAfter time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("server: %s breaker open (retry in %s)", e.Kind, e.RetryAfter.Round(time.Millisecond))
+}
 
 // Config parameterizes a Server. Zero values take the stated defaults.
 type Config struct {
@@ -94,6 +111,42 @@ type Config struct {
 	JobRing int
 	// EventPoll is the SSE poll cadence. Default 200ms.
 	EventPoll time.Duration
+	// Heartbeat is the SSE comment-ping cadence keeping idle streams
+	// alive through proxies. Default 15s.
+	Heartbeat time.Duration
+
+	// DefaultDeadline is applied to jobs that submit no deadline_ms
+	// (0 = unlimited); MaxDeadline caps every job's budget, including
+	// unlimited ones (0 = no cap). The budget is a wall clock over the
+	// job's whole supervised run: every attempt and every retry
+	// backoff, measured from first dispatch.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+
+	// RetryMax is how many automatic retries a retryable failure
+	// (engine error, panic quarantine) gets before the job lands in
+	// failed. Default 0: retries are opt-in, a failure is a failure.
+	RetryMax int
+	// RetryBase/RetryCap shape the capped exponential backoff between
+	// attempts (defaults 100ms / 5s); RetrySeed (default 1) drives the
+	// deterministic jitter, so a fixed configuration has a fixed retry
+	// timeline.
+	RetryBase time.Duration
+	RetryCap  time.Duration
+	RetrySeed int64
+
+	// Per-kind circuit breaker policy: a sliding window of
+	// BreakerWindow engine-attempt outcomes (default 16) opens the
+	// kind's breaker when at least BreakerMinSamples outcomes (default
+	// 8) show a failure rate ≥ BreakerThreshold (default 0.5). An open
+	// breaker sheds submissions of that kind for BreakerOpenFor
+	// (default 5s), then admits BreakerProbes probe jobs (default 1)
+	// whose outcome closes or re-opens it.
+	BreakerWindow     int
+	BreakerMinSamples int
+	BreakerThreshold  float64
+	BreakerOpenFor    time.Duration
+	BreakerProbes     int
 }
 
 func (c *Config) withDefaults() Config {
@@ -118,6 +171,33 @@ func (c *Config) withDefaults() Config {
 	}
 	if o.EventPoll <= 0 {
 		o.EventPoll = 200 * time.Millisecond
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 15 * time.Second
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 100 * time.Millisecond
+	}
+	if o.RetryCap <= 0 {
+		o.RetryCap = 5 * time.Second
+	}
+	if o.RetrySeed == 0 {
+		o.RetrySeed = 1
+	}
+	if o.BreakerWindow <= 0 {
+		o.BreakerWindow = 16
+	}
+	if o.BreakerMinSamples <= 0 {
+		o.BreakerMinSamples = 8
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 0.5
+	}
+	if o.BreakerOpenFor <= 0 {
+		o.BreakerOpenFor = 5 * time.Second
+	}
+	if o.BreakerProbes <= 0 {
+		o.BreakerProbes = 1
 	}
 	return o
 }
@@ -145,6 +225,15 @@ type Job struct {
 	// interruptions when classifying the run error.
 	cancelRequested bool
 	done            chan struct{}
+
+	// attempts counts completed engine attempts that ended in a
+	// retryable failure (i.e. retries scheduled so far); deadlineAt is
+	// the job's wall budget, fixed at first dispatch so retries and
+	// backoffs spend from the same allowance. deadlineSet marks jobs
+	// with no budget so the resolution runs once.
+	attempts    int
+	deadlineAt  time.Time
+	deadlineSet bool
 }
 
 // Server is the job scheduler. New starts its workers immediately;
@@ -165,6 +254,15 @@ type Server struct {
 	cache  *resultCache
 	ledger *resilient.Checkpointer
 
+	// breakers is one circuit breaker per job kind (fixed at New).
+	breakers map[string]*breaker
+	// retryTimers holds the pending backoff timer of every job waiting
+	// to be re-queued; guarded by mu, drained on shutdown and cancel.
+	retryTimers map[string]*time.Timer
+	// avgAttempt is an EWMA of recent attempt wall times, the drain
+	// rate behind the 429 Retry-After hint. Guarded by mu.
+	avgAttempt time.Duration
+
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
@@ -174,6 +272,8 @@ type Server struct {
 	mCompleted *obs.Counter
 	mFailed    *obs.Counter
 	mCanceled  *obs.Counter
+	mDeadline  *obs.Counter
+	mRetries   *obs.Counter
 	mCacheHit  *obs.Counter
 	mCacheMiss *obs.Counter
 	mRejected  *obs.Counter
@@ -195,6 +295,7 @@ type ledgerRecord struct {
 	ErrMsg   string
 	Identity string
 	CacheHit bool
+	Attempts int
 	Result   *Result
 }
 
@@ -211,22 +312,36 @@ func New(cfg Config) (*Server, error) {
 	c := cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     c,
-		reg:     c.Registry,
-		q:       newFairQueue(c.MaxQueuedPerTenant, c.MaxQueuedTotal, c.Weights),
-		jobs:    make(map[string]*Job),
-		cache:   newResultCache(),
-		baseCtx: ctx,
-		stop:    cancel,
+		cfg:         c,
+		reg:         c.Registry,
+		q:           newFairQueue(c.MaxQueuedPerTenant, c.MaxQueuedTotal, c.Weights),
+		jobs:        make(map[string]*Job),
+		cache:       newResultCache(),
+		breakers:    make(map[string]*breaker),
+		retryTimers: make(map[string]*time.Timer),
+		baseCtx:     ctx,
+		stop:        cancel,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if c.CheckpointDir != "" {
 		s.ledger = &resilient.Checkpointer{Dir: c.CheckpointDir, Resume: c.Resume}
 	}
+	bcfg := breakerConfig{
+		window:     c.BreakerWindow,
+		minSamples: c.BreakerMinSamples,
+		threshold:  c.BreakerThreshold,
+		openFor:    c.BreakerOpenFor,
+		probes:     c.BreakerProbes,
+	}
+	for _, kind := range jobKinds {
+		s.breakers[kind] = newBreaker(kind, bcfg, s.reg, time.Now)
+	}
 	s.mSubmitted = s.reg.Counter("server_jobs_submitted_total")
 	s.mCompleted = s.reg.Counter("server_jobs_completed_total")
 	s.mFailed = s.reg.Counter("server_jobs_failed_total")
 	s.mCanceled = s.reg.Counter("server_jobs_canceled_total")
+	s.mDeadline = s.reg.Counter("server_jobs_deadline_total")
+	s.mRetries = s.reg.Counter("server_retries_total")
 	s.mCacheHit = s.reg.Counter("server_cache_hits_total")
 	s.mCacheMiss = s.reg.Counter("server_cache_misses_total")
 	s.mRejected = s.reg.Counter("server_queue_rejections_total")
@@ -271,6 +386,7 @@ func (s *Server) resume() error {
 			errMsg:   rec.ErrMsg,
 			result:   rec.Result,
 			cacheHit: rec.CacheHit,
+			attempts: rec.Attempts,
 			reg:      obs.NewWithRing(s.cfg.JobRing),
 			done:     make(chan struct{}),
 		}
@@ -319,6 +435,11 @@ func (s *Server) Submit(tenant string, spec Spec) (*Job, error) {
 	t, err := newTask(&spec) // normalizes spec in place
 	if err != nil {
 		return nil, err
+	}
+	if b := s.breakers[spec.Kind]; b != nil {
+		if ok, retryIn := b.admit(); !ok {
+			return nil, &BreakerOpenError{Kind: spec.Kind, RetryAfter: retryIn}
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -369,7 +490,13 @@ func (s *Server) Cancel(id string) bool {
 	}
 	switch j.state {
 	case StateQueued:
+		// Either waiting in the fair queue or backing off before a
+		// retry; stop whichever is holding it.
 		s.q.remove(j)
+		if t := s.retryTimers[j.ID]; t != nil {
+			t.Stop()
+			delete(s.retryTimers, j.ID)
+		}
 		s.gQueued.Set(float64(s.q.queued))
 		s.finishLocked(j, StateCanceled, ErrTypeCanceled, "canceled before start")
 	case StateRunning:
@@ -401,6 +528,12 @@ func (s *Server) shutdown() {
 	}
 	s.stopping = true
 	s.killed = true
+	// Backoff jobs stay StateQueued in the ledger: a Resume restart
+	// re-dispatches them against their checkpoints, no timer needed.
+	for id, t := range s.retryTimers {
+		t.Stop()
+		delete(s.retryTimers, id)
+	}
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.stop()
@@ -429,10 +562,18 @@ func (s *Server) worker() {
 			continue
 		}
 		j.state = StateRunning
+		if !j.deadlineSet {
+			// The wall budget starts at first dispatch and is shared
+			// by every subsequent attempt and backoff.
+			if d := jobDeadline(&j.Spec, s.cfg.DefaultDeadline, s.cfg.MaxDeadline); d > 0 {
+				j.deadlineAt = time.Now().Add(d)
+			}
+			j.deadlineSet = true
+		}
 		var ctx context.Context
 		var cancel context.CancelFunc
-		if j.Spec.TimeoutSec > 0 {
-			ctx, cancel = context.WithTimeout(s.baseCtx, time.Duration(j.Spec.TimeoutSec*float64(time.Second)))
+		if !j.deadlineAt.IsZero() {
+			ctx, cancel = context.WithDeadline(s.baseCtx, j.deadlineAt)
 		} else {
 			ctx, cancel = context.WithCancel(s.baseCtx)
 		}
@@ -442,10 +583,17 @@ func (s *Server) worker() {
 		s.saveLedgerLocked()
 		s.mu.Unlock()
 
+		start := time.Now()
 		s.runJob(ctx, j)
 		cancel()
+		dur := time.Since(start)
 
 		s.mu.Lock()
+		if s.avgAttempt == 0 {
+			s.avgAttempt = dur
+		} else {
+			s.avgAttempt = (3*s.avgAttempt + dur) / 4
+		}
 		s.gRunning.Add(-1)
 		s.mu.Unlock()
 	}
@@ -482,7 +630,7 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 			// Leader finished (or failed); re-check the cache, or
 			// claim the vacated leadership.
 		case <-jctx.Done():
-			s.finishInterrupted(j, jctx, resilient.CtxErr(jctx))
+			s.finishInterrupted(j, jctx, resilient.CtxErr(jctx), nil)
 			return
 		}
 	}
@@ -500,19 +648,25 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 	if res != nil {
 		res.Identity = fmt.Sprintf("%016x", id)
 	}
+	b := s.breakers[j.Spec.Kind]
 	if err != nil {
 		s.cache.fail(id)
 		var pe *resilient.PanicError
 		switch {
 		case errors.As(err, &pe):
-			s.finish(j, StateFailed, ErrTypePanic, pe.Error())
+			b.record(true)
+			s.failOrRetry(j, ErrTypePanic, pe.Error())
 		case resilient.Interrupted(err):
-			s.finishInterrupted(j, jctx, err)
+			// Cancel/deadline/shutdown say nothing about engine
+			// health; no breaker outcome.
+			s.finishInterrupted(j, jctx, err, res)
 		default:
-			s.finish(j, StateFailed, ErrTypeEngine, err.Error())
+			b.record(true)
+			s.failOrRetry(j, ErrTypeEngine, err.Error())
 		}
 		return
 	}
+	b.record(false)
 	if res.Partial {
 		// A degraded result is real but not canonical: serve it to
 		// this job, release followers to recompute their own.
@@ -524,8 +678,11 @@ func (s *Server) runJob(ctx context.Context, j *Job) {
 }
 
 // finishInterrupted classifies an interruption: client cancel, job
-// deadline, or server shutdown (which leaves the job resumable).
-func (s *Server) finishInterrupted(j *Job, ctx context.Context, err error) {
+// deadline, or server shutdown (which leaves the job resumable). An
+// expired deadline is a first-class terminal state, and whatever
+// partial result the engine salvaged on the way out (res may be nil)
+// is served with it.
+func (s *Server) finishInterrupted(j *Job, ctx context.Context, err error, res *Result) {
 	s.mu.Lock()
 	stopping := s.stopping
 	requested := j.cancelRequested
@@ -534,13 +691,75 @@ func (s *Server) finishInterrupted(j *Job, ctx context.Context, err error) {
 	case requested:
 		s.finish(j, StateCanceled, ErrTypeCanceled, "canceled by request")
 	case errors.Is(err, resilient.ErrDeadline) || errors.Is(ctx.Err(), context.DeadlineExceeded):
-		s.finish(j, StateFailed, ErrTypeDeadline, "job deadline exceeded")
+		s.mu.Lock()
+		if res != nil {
+			j.result = res
+		}
+		s.finishLocked(j, StateDeadline, ErrTypeDeadline, "job deadline exceeded")
+		s.mu.Unlock()
 	case stopping:
 		// Server going down: no transition. The ledger still says
 		// queued/running, which is exactly what resume needs.
 	default:
 		s.finish(j, StateCanceled, ErrTypeCanceled, err.Error())
 	}
+}
+
+// failOrRetry handles a retryable engine failure: schedule another
+// attempt under the retry policy, or land the job in failed when the
+// policy (or the job's deadline budget) is exhausted. The retry keeps
+// the job's StateQueued outside the fair queue while its backoff timer
+// runs; requeueRetry puts it back when the timer fires.
+func (s *Server) failOrRetry(j *Job, errType, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if terminal(j.state) {
+		return
+	}
+	// No retry scheduling while stopping — the shutdown path already
+	// drained the timers; the failure lands as-is.
+	if !s.stopping && s.cfg.RetryMax > 0 && j.attempts < s.cfg.RetryMax && retryable(errType) {
+		delay := retryDelay(s.cfg.RetryBase, s.cfg.RetryCap, s.cfg.RetrySeed, j.ID, j.attempts+1)
+		if j.deadlineAt.IsZero() || time.Now().Add(delay).Before(j.deadlineAt) {
+			j.attempts++
+			j.state = StateQueued
+			j.errType, j.errMsg = errType, errMsg // last error, visible while backing off
+			j.cancel = nil
+			s.mRetries.Inc()
+			s.saveLedgerLocked()
+			id := j.ID
+			s.retryTimers[id] = time.AfterFunc(delay, func() { s.requeueRetry(id) })
+			return
+		}
+		errMsg += "; retry budget exhausted"
+	}
+	s.finishLocked(j, StateFailed, errType, errMsg)
+}
+
+// requeueRetry moves a backed-off job back into the fair queue. The
+// push bypasses admission bounds: the job was admitted once and never
+// left the server's accounting.
+func (s *Server) requeueRetry(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.retryTimers, id)
+	j := s.jobs[id]
+	if j == nil || s.stopping || j.state != StateQueued {
+		return
+	}
+	s.q.forcePush(j)
+	s.gQueued.Set(float64(s.q.queued))
+	s.cond.Signal()
+}
+
+// retryAfterSeconds is the live 429 Retry-After hint: the estimated
+// backlog drain time, floored by the configured static value.
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	queued := s.q.queued
+	avg := s.avgAttempt
+	s.mu.Unlock()
+	return ceilSeconds(retryAfterHint(queued, avg, s.cfg.Workers, s.cfg.RetryAfter))
 }
 
 func (s *Server) finishResult(j *Job, res *Result) {
@@ -564,8 +783,7 @@ func (s *Server) finish(j *Job, state, errType, errMsg string) {
 // job's counters into the server registry (so /metrics aggregates
 // engine work across jobs), persists the ledger and releases waiters.
 func (s *Server) finishLocked(j *Job, state, errType, errMsg string) {
-	if j.state == StateDone || j.state == StatePartial ||
-		j.state == StateFailed || j.state == StateCanceled {
+	if terminal(j.state) {
 		return
 	}
 	j.state = state
@@ -577,6 +795,8 @@ func (s *Server) finishLocked(j *Job, state, errType, errMsg string) {
 		s.mFailed.Inc()
 	case StateCanceled:
 		s.mCanceled.Inc()
+	case StateDeadline:
+		s.mDeadline.Inc()
 	}
 	for name, v := range j.reg.Counters() {
 		if v != 0 {
@@ -599,12 +819,13 @@ func (s *Server) saveLedgerLocked() {
 	for _, id := range s.order {
 		j := s.jobs[id]
 		rec := ledgerRecord{
-			ID:      j.ID,
-			Tenant:  j.Tenant,
-			Spec:    j.Spec,
-			State:   j.state,
-			ErrType: j.errType,
-			ErrMsg:  j.errMsg,
+			ID:       j.ID,
+			Tenant:   j.Tenant,
+			Spec:     j.Spec,
+			State:    j.state,
+			ErrType:  j.errType,
+			ErrMsg:   j.errMsg,
+			Attempts: j.attempts,
 		}
 		if j.hasIdent {
 			rec.Identity = fmt.Sprintf("%016x", j.identity)
@@ -626,6 +847,7 @@ type Snapshot struct {
 	State    string     `json:"state"`
 	Identity string     `json:"identity,omitempty"`
 	CacheHit bool       `json:"cache_hit,omitempty"`
+	Attempts int        `json:"attempts,omitempty"`
 	Error    *ErrorBody `json:"error,omitempty"`
 	Result   *Result    `json:"result,omitempty"`
 }
@@ -647,6 +869,7 @@ func (s *Server) Snapshot(j *Job) Snapshot {
 		Kind:     j.Spec.Kind,
 		State:    j.state,
 		CacheHit: j.cacheHit,
+		Attempts: j.attempts,
 		Result:   j.result,
 	}
 	if j.hasIdent {

@@ -100,8 +100,7 @@ func waitTerminal(t *testing.T, ts *httptest.Server, id string) Snapshot {
 	deadline := time.Now().Add(30 * time.Second)
 	for {
 		snap := getJob(t, ts, id)
-		switch snap.State {
-		case StateDone, StatePartial, StateFailed, StateCanceled:
+		if terminal(snap.State) {
 			return snap
 		}
 		if time.Now().After(deadline) {
