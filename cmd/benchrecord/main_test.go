@@ -70,13 +70,55 @@ func TestCompareRuns(t *testing.T) {
 		"C": {NsPerOp: 1000},                 // unchanged
 		"D": {NsPerOp: 9999},                 // new benchmark: no baseline
 	}
-	regs := compareRuns(base, cur, 15)
+	regs := compareRuns(base, cur, 15, 0)
 	if len(regs) != 1 || !strings.Contains(regs[0], "B") || !strings.Contains(regs[0], "allocs") {
 		t.Fatalf("regressions = %v, want only B's alloc growth", regs)
 	}
 	// A 20% slowdown plus B and C missing from the run: three gates.
-	if regs := compareRuns(base, map[string]BenchResult{"A": {NsPerOp: 1200}}, 15); len(regs) != 3 {
+	if regs := compareRuns(base, map[string]BenchResult{"A": {NsPerOp: 1200}}, 15, 0); len(regs) != 3 {
 		t.Fatalf("slowdown+missing not fully flagged: %v", regs)
+	}
+}
+
+// TestCompareRunsAllocSlack pins -max-allocs-regress: with a percent
+// headroom, growth within the limit passes and growth beyond it fails;
+// with the default 0 the gate stays exact, even from a 0 baseline.
+func TestCompareRunsAllocSlack(t *testing.T) {
+	base := map[string]BenchResult{
+		"Big":  {NsPerOp: 1000, AllocsPerOp: 1000},
+		"Zero": {NsPerOp: 1000, AllocsPerOp: 0},
+	}
+	within := map[string]BenchResult{
+		"Big":  {NsPerOp: 1000, AllocsPerOp: 1009}, // +0.9% < 1%
+		"Zero": {NsPerOp: 1000, AllocsPerOp: 0},
+	}
+	if regs := compareRuns(base, within, 15, 1); len(regs) != 0 {
+		t.Fatalf("growth within slack flagged: %v", regs)
+	}
+	beyond := map[string]BenchResult{
+		"Big":  {NsPerOp: 1000, AllocsPerOp: 1011}, // +1.1% > 1%
+		"Zero": {NsPerOp: 1000, AllocsPerOp: 0},
+	}
+	regs := compareRuns(base, beyond, 15, 1)
+	if len(regs) != 1 || !strings.Contains(regs[0], "Big") || !strings.Contains(regs[0], "allocs") {
+		t.Fatalf("growth beyond slack not flagged: %v", regs)
+	}
+	// A 0 baseline gets no headroom from a percent slack: any alloc
+	// appearing on a previously alloc-free benchmark still fails.
+	leaky := map[string]BenchResult{
+		"Big":  {NsPerOp: 1000, AllocsPerOp: 1000},
+		"Zero": {NsPerOp: 1000, AllocsPerOp: 1},
+	}
+	if regs := compareRuns(base, leaky, 15, 1); len(regs) != 1 || !strings.Contains(regs[0], "Zero") {
+		t.Fatalf("zero-baseline alloc growth not flagged: %v", regs)
+	}
+	// Default 0 slack: one extra alloc on Big fails exactly as before.
+	exact := map[string]BenchResult{
+		"Big":  {NsPerOp: 1000, AllocsPerOp: 1001},
+		"Zero": {NsPerOp: 1000, AllocsPerOp: 0},
+	}
+	if regs := compareRuns(base, exact, 15, 0); len(regs) != 1 || !strings.Contains(regs[0], "any growth fails") {
+		t.Fatalf("exact gate lost its bite: %v", regs)
 	}
 }
 
@@ -91,12 +133,12 @@ func TestCompareRunsMissingBenchmark(t *testing.T) {
 	cur := map[string]BenchResult{
 		"A": {NsPerOp: 1000},
 	}
-	regs := compareRuns(base, cur, 15)
+	regs := compareRuns(base, cur, 15, 0)
 	if len(regs) != 1 || !strings.Contains(regs[0], "B") || !strings.Contains(regs[0], "missing") {
 		t.Fatalf("missing benchmark not flagged: %v", regs)
 	}
 	// Everything missing: every baseline name is reported.
-	if regs := compareRuns(base, map[string]BenchResult{}, 15); len(regs) != 2 {
+	if regs := compareRuns(base, map[string]BenchResult{}, 15, 0); len(regs) != 2 {
 		t.Fatalf("want 2 missing regressions, got %v", regs)
 	}
 }

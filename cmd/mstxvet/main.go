@@ -6,14 +6,19 @@
 //
 // Usage:
 //
-//	mstxvet [-root dir] [-list] [patterns ...]
+//	mstxvet [-root dir] [-list] [-json] [-workers n] [patterns ...]
 //
 // Patterns follow the go tool convention: a directory path, or a
 // path ending in /... for a recursive walk. The default is ./...
-// relative to -root (default: current directory).
+// relative to -root (default: current directory). -json emits the
+// findings as a JSON array of {file,line,col,analyzer,message}
+// objects ("[]" on a clean run) for toolchain consumption; -workers
+// bounds the parallel analysis pool (0 = all CPUs) without changing
+// the findings or their order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,11 +35,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mstxvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list = fs.Bool("list", false, "print the analyzer catalog and exit")
-		root = fs.String("root", ".", "module root to analyze (directory containing go.mod)")
+		list    = fs.Bool("list", false, "print the analyzer catalog and exit")
+		root    = fs.String("root", ".", "module root to analyze (directory containing go.mod)")
+		jsonOut = fs.Bool("json", false, "emit findings as a JSON array of {file,line,col,analyzer,message}")
+		workers = fs.Int("workers", 0, "parallel analysis workers (0 = all CPUs); findings are identical for any value")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mstxvet [-root dir] [-list] [patterns ...]\n")
+		fmt.Fprintf(stderr, "usage: mstxvet [-root dir] [-list] [-json] [-workers n] [patterns ...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -60,13 +67,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Root:         *root,
 		Dirs:         dirs,
 		WholeProgram: true,
+		Workers:      *workers,
 	}, analyzers)
 	if err != nil {
 		fmt.Fprintf(stderr, "mstxvet: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d.String())
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, finding{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message})
+		}
+		enc := json.NewEncoder(stdout)
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "mstxvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
 		return 1

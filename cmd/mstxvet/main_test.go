@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +14,8 @@ func TestListFlag(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("exit %d, stderr %q", code, errOut.String())
 	}
-	for _, name := range []string{"nakedgo", "ctxflow", "determinism", "failpointreg", "obsnil", "retryckpt"} {
+	for _, name := range []string{"nakedgo", "ctxflow", "determinism", "failpointreg", "obsnil", "retryckpt",
+		"lockorder", "leakjoin", "errclass"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -58,6 +60,83 @@ func TestCleanPackagesExitZero(t *testing.T) {
 	code := run([]string{"-root", root, "internal/resilient", "internal/obs"}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("exit %d, want 0; stdout %q stderr %q", code, out.String(), errOut.String())
+	}
+}
+
+// TestJSONOutput: -json renders the findings as a machine-readable
+// array; a clean run is exactly the empty array.
+func TestJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module tmpmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "eng", "eng.go"), `// Package eng is a scratch engine package.
+//
+//mstxvet:engine
+package eng
+
+import "sync"
+
+// Spawn uses a bare go statement.
+func Spawn(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+`)
+	var out, errOut strings.Builder
+	code := run([]string{"-root", dir, "-json", "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr %q", code, errOut.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected findings in JSON output")
+	}
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Col == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	root := repoRoot(t)
+	if code := run([]string{"-root", root, "-json", "internal/resilient"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on clean package; stderr %q", code, errOut.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Errorf("clean -json run = %q, want []", out.String())
+	}
+}
+
+// TestWorkersDeterminism: the findings and their order are identical
+// for any worker count, byte for byte.
+func TestWorkersDeterminism(t *testing.T) {
+	root := repoRoot(t)
+	args := []string{"-root", root, "internal/server", "internal/campaign", "internal/mcengine"}
+	outputs := make([]string, 0, 3)
+	for _, w := range []string{"1", "4", "8"} {
+		var out, errOut strings.Builder
+		run(append([]string{"-workers", w}, args...), &out, &errOut)
+		if errOut.Len() > 0 {
+			t.Fatalf("-workers %s: stderr %q", w, errOut.String())
+		}
+		outputs = append(outputs, out.String())
+	}
+	for i := 1; i < len(outputs); i++ {
+		if outputs[i] != outputs[0] {
+			t.Errorf("output differs between worker counts:\n-- workers 1 --\n%s\n-- variant %d --\n%s",
+				outputs[0], i, outputs[i])
+		}
 	}
 }
 

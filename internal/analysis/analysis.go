@@ -23,6 +23,16 @@
 //     env.ckpt into its engine call, so the supervision layer's
 //     automatic retries resume from the job checkpoint instead of
 //     recomputing completed rounds.
+//   - lockorder: a consistent global mutex acquisition order and no
+//     lock held across a blocking operation, proven over the
+//     per-function CFG (cfg.go), the module call graph (callgraph.go)
+//     and the gen/kill dataflow solver (dataflow.go).
+//   - leakjoin: every goroutine spawned in the engine/server packages
+//     reaches a join point (WaitGroup.Wait, channel drain, ctx-cancel
+//     select) on all CFG paths.
+//   - errclass: values stored into the server's terminal state/errType
+//     fields derive from the State*/ErrType* classification constants,
+//     traced by reaching-definitions dataflow.
 //
 // The cmd/mstxvet driver runs the catalog over ./... with vet-style
 // file:line diagnostics; scripts/check.sh gates merges on a clean run.
@@ -59,6 +69,11 @@ type Analyzer struct {
 	Run func(prog *Program, pkg *Package, report Reporter)
 	// Finish reports whole-program findings; may be nil.
 	Finish func(prog *Program, report Reporter)
+	// Parallel marks Run as safe to invoke concurrently for different
+	// packages (no cross-package mutable state). Analyzers that
+	// accumulate state across Run calls leave it false and run their
+	// packages sequentially.
+	Parallel bool
 }
 
 // Diagnostic is one finding, positioned and attributed.
@@ -84,6 +99,9 @@ func Catalog() []*Analyzer {
 		newFailpointreg(),
 		newObsnil(),
 		newRetryckpt(),
+		newLockorder(),
+		newLeakjoin(),
+		newErrclass(),
 	}
 }
 

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// A module-internal call graph over every loaded package, resolved
+// through the go/types loader: one node per declared function or method
+// with a body, edges at call sites that statically resolve to another
+// node. Function-literal bodies are attributed to their enclosing
+// declared function — a closure's calls happen on the encloser's
+// goroutine — EXCEPT when the literal is spawned (the function operand
+// of a `go` statement, or the task argument of resilient.Go): those
+// edges are marked Async and excluded from synchronous-effect
+// propagation (blocking, locks held).
+
+// CGEdge is one call site.
+type CGEdge struct {
+	Callee *CGNode
+	Site   *ast.CallExpr
+	// Async marks a call that runs on a different goroutine than the
+	// caller (inside a spawned closure, or the `go f()` form itself).
+	Async bool
+}
+
+// CGNode is one declared function or method.
+type CGNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Calls []CGEdge
+}
+
+// CallGraph indexes the nodes by their types object.
+type CallGraph struct {
+	Nodes map[*types.Func]*CGNode
+	// order lists nodes deterministically (package path, then source
+	// position) for analyses that iterate.
+	order []*CGNode
+}
+
+// Walk visits every node in deterministic order.
+func (g *CallGraph) Walk(fn func(n *CGNode)) {
+	for _, n := range g.order {
+		fn(n)
+	}
+}
+
+// CallGraph builds (once) and returns the module-internal call graph
+// over every loaded, non-broken package. Safe for concurrent use.
+func (p *Program) CallGraph() *CallGraph {
+	p.cgOnce.Do(func() { p.cg = buildCallGraph(p) })
+	return p.cg
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*CGNode{}}
+
+	paths := make([]string, 0, len(prog.pkgs))
+	for path := range prog.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	// Pass 1: nodes.
+	for _, path := range paths {
+		pkg := prog.pkgs[path]
+		if pkg.Broken() || pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CGNode{Fn: fn, Decl: fd, Pkg: pkg}
+				g.Nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+
+	// Pass 2: edges.
+	for _, n := range g.order {
+		addCallEdges(n, n.Pkg.Info, g)
+	}
+	return g
+}
+
+// addCallEdges walks the body of n, tracking whether the walk is inside
+// a spawned closure (async context).
+func addCallEdges(n *CGNode, info *types.Info, g *CallGraph) {
+	var walk func(node ast.Node, async bool)
+	walk = func(node ast.Node, async bool) {
+		ast.Inspect(node, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				// The spawned call itself: an async edge if it resolves,
+				// and the operand function literal (if any) is async
+				// context throughout.
+				if callee := calleeFunc(info, m.Call); callee != nil {
+					if cn := g.Nodes[callee]; cn != nil {
+						n.Calls = append(n.Calls, CGEdge{Callee: cn, Site: m.Call, Async: true})
+					}
+				}
+				if lit, ok := ast.Unparen(m.Call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+				}
+				for _, arg := range m.Call.Args {
+					walk(arg, async)
+				}
+				return false
+			case *ast.CallExpr:
+				if callee := calleeFunc(info, m); callee != nil {
+					if cn := g.Nodes[callee]; cn != nil {
+						n.Calls = append(n.Calls, CGEdge{Callee: cn, Site: m, Async: async})
+					}
+					// Task closures handed to resilient.Go run on their
+					// own goroutine.
+					if isResilientSpawn(callee) {
+						for i, arg := range m.Args {
+							if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok && i >= 2 {
+								walk(lit.Body, true)
+							} else {
+								walk(arg, async)
+							}
+						}
+						walk(m.Fun, async)
+						return false
+					}
+				}
+				return true
+			case *ast.FuncLit:
+				// A plain closure: calls inside it may run synchronously
+				// (invoked in place or stored and called); keep the
+				// current async context.
+				walk(m.Body, async)
+				return false
+			}
+			return true
+		})
+	}
+	walk(n.Decl.Body, false)
+}
+
+// isResilientSpawn reports whether fn is the panic-quarantined spawn
+// helper (a function named Go declared in a package named resilient —
+// name-matched so fixture stubs count).
+func isResilientSpawn(fn *types.Func) bool {
+	return fn != nil && fn.Name() == "Go" && declaredIn(fn, "resilient")
+}

@@ -24,8 +24,9 @@ import (
 //     granularity.
 func newCtxflow() *Analyzer {
 	a := &Analyzer{
-		Name: "ctxflow",
-		Doc:  "ctx-receiving functions must thread the caller's context, never root a new one",
+		Name:     "ctxflow",
+		Doc:      "ctx-receiving functions must thread the caller's context, never root a new one",
+		Parallel: true,
 	}
 	a.Run = func(prog *Program, pkg *Package, report Reporter) {
 		engine := isEnginePkg(pkg)

@@ -31,8 +31,9 @@ import (
 //     keys first.
 func newDeterminism() *Analyzer {
 	a := &Analyzer{
-		Name: "determinism",
-		Doc:  "engine packages must not read wall clocks, global rand, or map order into results",
+		Name:     "determinism",
+		Doc:      "engine packages must not read wall clocks, global rand, or map order into results",
+		Parallel: true,
 	}
 	a.Run = func(prog *Program, pkg *Package, report Reporter) {
 		if !isEnginePkg(pkg) {

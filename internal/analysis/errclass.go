@@ -1,0 +1,587 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// errclass: in the job server, every value that flows into a terminal
+// job-state field — a struct field named `errType` or `state` — must
+// provably derive from the supervision classification constants
+// (ErrType*/State*), traced by dataflow rather than naming convention:
+//
+//   - stores and composite-literal fields are checked directly;
+//   - a parameter that flows into a sink (possibly through further
+//     calls) becomes a sink itself, and every call site's argument is
+//     checked instead;
+//   - a local variable is classified when every reaching definition at
+//     the use (per-function CFG reaching-defs) is classified;
+//   - a call is classified when the callee is a classifier helper:
+//     every return expression at the used result is itself classified.
+//
+// Loads of fields (e.g. a ledger record round-trip) are deliberately
+// NOT classified: the analyzer cannot see across serialization, so the
+// trust boundary must carry an audited //mstxvet:ignore.
+func newErrclass() *Analyzer {
+	ec := &errclass{}
+	return &Analyzer{
+		Name:     "errclass",
+		Doc:      "terminal job state/errType stores derive from the ErrType*/State* classification constants (reaching-defs dataflow)",
+		Run:      ec.run,
+		Parallel: true,
+	}
+}
+
+type errclass struct{}
+
+// sinkKind describes one terminal field family.
+type sinkKind struct {
+	field      string // sink field name
+	prefix     string // classification constant prefix
+	allowEmpty bool   // "" is the success value for errType
+}
+
+var sinkKinds = []sinkKind{
+	{field: "errType", prefix: "ErrType", allowEmpty: true},
+	{field: "state", prefix: "State", allowEmpty: false},
+}
+
+func kindByField(name string) *sinkKind {
+	for i := range sinkKinds {
+		if sinkKinds[i].field == name {
+			return &sinkKinds[i]
+		}
+	}
+	return nil
+}
+
+// ecState is the per-package analysis state.
+type ecState struct {
+	prog *Program
+	pkg  *Package
+	info *types.Info
+
+	consts     map[types.Object]*sinkKind // classification constants
+	sinkParams map[types.Object]*sinkKind // params that flow into sinks
+	cfgs       map[ast.Node]*CFG
+	units      []ast.Node
+	params     map[types.Object]bool    // every param object of every unit
+	helperMemo map[helperKey]int        // 0 unknown/in-progress, 1 yes, 2 no
+	flows      map[flowKey]*reachResult // reaching-defs memo
+}
+
+type helperKey struct {
+	fn   *types.Func
+	kind *sinkKind
+}
+
+type flowKey struct {
+	unit ast.Node
+	obj  types.Object
+}
+
+type reachResult struct {
+	flow    *Flow
+	blockIn map[*Block]*BitSet
+	defRHS  []ast.Expr // per fact index; nil = opaque definition
+}
+
+func (ec *errclass) run(prog *Program, pkg *Package, report Reporter) {
+	if pkg.Types == nil || pkg.Types.Name() != "server" {
+		return
+	}
+	st := &ecState{
+		prog:       prog,
+		pkg:        pkg,
+		info:       pkg.Info,
+		consts:     map[types.Object]*sinkKind{},
+		sinkParams: map[types.Object]*sinkKind{},
+		cfgs:       funcCFGs(pkg.Files),
+		params:     map[types.Object]bool{},
+		helperMemo: map[helperKey]int{},
+		flows:      map[flowKey]*reachResult{},
+	}
+	for u := range st.cfgs {
+		st.units = append(st.units, u)
+	}
+	sort.Slice(st.units, func(i, j int) bool { return st.units[i].Pos() < st.units[j].Pos() })
+
+	// Classification constants: package-level string consts named
+	// ErrType* / State*.
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if b, ok := c.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+			continue
+		}
+		for i := range sinkKinds {
+			if strings.HasPrefix(name, sinkKinds[i].prefix) {
+				st.consts[c] = &sinkKinds[i]
+			}
+		}
+	}
+
+	// Param objects of every unit (for "opaque parameter" detection).
+	for _, u := range st.units {
+		for _, f := range unitParamFields(u) {
+			for _, id := range f.Names {
+				if obj := st.info.Defs[id]; obj != nil {
+					st.params[obj] = true
+				}
+			}
+		}
+	}
+
+	st.computeSinkParams()
+
+	// Verification pass: every sink store and every sink-param argument.
+	for _, u := range st.units {
+		forEachLeaf(st.cfgs[u], func(leaf ast.Node) {
+			walkShallow(leaf, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.AssignStmt:
+					if len(m.Lhs) != len(m.Rhs) {
+						// Multi-value assignment into a sink is opaque.
+						for _, lhs := range m.Lhs {
+							if k := st.sinkField(lhs); k != nil {
+								report(m.Pos(), "multi-value assignment into the terminal %s field is not traceable to the %s* constants", k.field, k.prefix)
+							}
+						}
+						return true
+					}
+					for i, lhs := range m.Lhs {
+						if k := st.sinkField(lhs); k != nil {
+							st.checkValue(u, leaf, m.Rhs[i], k, "stored in the terminal "+k.field+" field", report)
+						}
+					}
+				case *ast.CompositeLit:
+					st.checkComposite(u, leaf, m, report)
+				case *ast.CallExpr:
+					st.checkCallArgs(u, leaf, m, report)
+				}
+				return true
+			})
+		})
+	}
+}
+
+// sinkField resolves an assignment LHS to a sink kind when it is a
+// selector of a string struct field named errType/state.
+func (st *ecState) sinkField(lhs ast.Expr) *sinkKind {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return sinkVar(st.info.ObjectOf(sel.Sel))
+}
+
+// sinkVar reports the sink kind when obj is a string-typed struct
+// field named like a sink. The string requirement keeps unrelated
+// state machines (e.g. an int-valued breaker state) out of scope.
+func sinkVar(obj types.Object) *sinkKind {
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() {
+		return nil
+	}
+	if b, ok := v.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsString == 0 {
+		return nil
+	}
+	return kindByField(v.Name())
+}
+
+// checkComposite checks keyed sink fields of struct literals.
+func (st *ecState) checkComposite(unit, leaf ast.Node, cl *ast.CompositeLit, report Reporter) {
+	tv, ok := st.info.Types[cl]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Struct); !ok {
+		return
+	}
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		id, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if k := sinkVar(st.info.ObjectOf(id)); k != nil {
+			st.checkValue(unit, leaf, kv.Value, k, "stored in the terminal "+k.field+" field", report)
+		}
+	}
+}
+
+// checkCallArgs checks arguments passed at sink-param positions.
+func (st *ecState) checkCallArgs(unit, leaf ast.Node, call *ast.CallExpr, report Reporter) {
+	fn := calleeFunc(st.info, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		p := sig.Params().At(i)
+		if k, ok := st.sinkParams[p]; ok {
+			st.checkValue(unit, leaf, arg, k,
+				"passed as the "+k.field+" parameter of "+fn.Name(), report)
+		}
+	}
+}
+
+// checkValue reports unless the expression is classified.
+func (st *ecState) checkValue(unit, leaf ast.Node, e ast.Expr, k *sinkKind, what string, report Reporter) {
+	if !st.classified(unit, leaf, e, k, 0) {
+		report(e.Pos(), "unclassified value %s; terminal %s values must derive from the %s* constants (dataflow could not prove it)",
+			what, k.field, k.prefix)
+	}
+}
+
+const maxClassifyDepth = 8
+
+// classified is the dataflow-backed provenance check.
+func (st *ecState) classified(unit, leaf ast.Node, e ast.Expr, k *sinkKind, depth int) bool {
+	if depth > maxClassifyDepth {
+		return false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return k.allowEmpty && e.Value == `""`
+	case *ast.Ident:
+		obj := st.info.ObjectOf(e)
+		if obj == nil {
+			return false
+		}
+		if st.consts[obj] == k {
+			return true
+		}
+		if st.sinkParams[obj] == k {
+			return true // call sites are checked instead
+		}
+		if st.params[obj] {
+			return false // opaque parameter (not a sink — nobody checks its callers)
+		}
+		if _, ok := obj.(*types.Var); ok {
+			return st.localClassified(unit, leaf, obj, k, depth)
+		}
+		return false
+	case *ast.SelectorExpr:
+		obj := st.info.ObjectOf(e.Sel)
+		if obj != nil && st.consts[obj] == k {
+			return true
+		}
+		// Field loads (ledger round-trips) are the trust boundary:
+		// never classified without an audited ignore.
+		return false
+	case *ast.CallExpr:
+		return st.helperClassified(e, k, depth)
+	}
+	return false
+}
+
+// localClassified: every reaching definition of the local at this use
+// is classified.
+func (st *ecState) localClassified(unit, leaf ast.Node, obj types.Object, k *sinkKind, depth int) bool {
+	rr := st.reachingDefs(unit, obj)
+	if rr == nil {
+		return false
+	}
+	facts, ok := rr.flow.At(leaf, rr.blockIn)
+	if !ok {
+		return false
+	}
+	bits := facts.Bits()
+	if len(bits) == 0 {
+		return false // no definition reaches: captured or zero-value
+	}
+	for _, i := range bits {
+		rhs := rr.defRHS[i]
+		if rhs == nil {
+			return false
+		}
+		if !st.classified(unit, leaf, rhs, k, depth+1) {
+			return false
+		}
+	}
+	return true
+}
+
+// reachingDefs builds (memoized) the reaching-definitions flow for one
+// local variable in one unit.
+func (st *ecState) reachingDefs(unit ast.Node, obj types.Object) *reachResult {
+	key := flowKey{unit, obj}
+	if rr, ok := st.flows[key]; ok {
+		return rr
+	}
+	cfg := st.cfgs[unit]
+	if cfg == nil {
+		return nil
+	}
+	// Collect definition sites in leaf order.
+	var defRHS []ast.Expr
+	defAt := map[ast.Node][]int{} // leaf -> def indices within it (walk order)
+	forEachLeaf(cfg, func(leaf ast.Node) {
+		walkShallow(leaf, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range m.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && st.info.ObjectOf(id) == obj {
+						var rhs ast.Expr
+						if len(m.Lhs) == len(m.Rhs) {
+							rhs = m.Rhs[i]
+						}
+						defAt[leaf] = append(defAt[leaf], len(defRHS))
+						defRHS = append(defRHS, rhs)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range m.Names {
+					if st.info.Defs[id] == obj {
+						var rhs ast.Expr
+						if i < len(m.Values) {
+							rhs = m.Values[i]
+						}
+						defAt[leaf] = append(defAt[leaf], len(defRHS))
+						defRHS = append(defRHS, rhs)
+					}
+				}
+			case *ast.RangeStmt:
+				for _, ke := range []ast.Expr{m.Key, m.Value} {
+					if id, ok := ke.(*ast.Ident); ok && st.info.ObjectOf(id) == obj {
+						defAt[leaf] = append(defAt[leaf], len(defRHS))
+						defRHS = append(defRHS, nil) // opaque per-iteration value
+					}
+				}
+			}
+			return true
+		})
+	})
+	if len(defRHS) == 0 {
+		st.flows[key] = nil
+		return nil
+	}
+	transfer := func(n ast.Node, facts *BitSet) {
+		idxs, ok := defAt[n]
+		if !ok {
+			return
+		}
+		for _, i := range idxs {
+			for j := 0; j < len(defRHS); j++ {
+				facts.Clear(j)
+			}
+			facts.Set(i)
+		}
+	}
+	flow := &Flow{CFG: cfg, NumFacts: len(defRHS), Transfer: transfer}
+	rr := &reachResult{flow: flow, blockIn: flow.Solve(), defRHS: defRHS}
+	st.flows[key] = rr
+	return rr
+}
+
+// helperClassified: the callee is a same-load classifier — every return
+// expression at result 0 is classified. Single-result helpers only.
+func (st *ecState) helperClassified(call *ast.CallExpr, k *sinkKind, depth int) bool {
+	fn := calleeFunc(st.info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	key := helperKey{fn, k}
+	if v, ok := st.helperMemo[key]; ok {
+		return v == 1
+	}
+	st.helperMemo[key] = 0 // in-progress: recursion is unclassified
+	node := st.prog.CallGraph().Nodes[fn]
+	if node == nil {
+		st.helperMemo[key] = 2
+		return false
+	}
+	// The helper may live in another package of the load; use its info.
+	info := node.Pkg.Info
+	ok = true
+	found := false
+	ast.Inspect(node.Decl.Body, func(m ast.Node) bool {
+		if _, isLit := m.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, isRet := m.(*ast.ReturnStmt)
+		if !isRet || len(ret.Results) != 1 {
+			if isRet {
+				ok = false
+			}
+			return true
+		}
+		found = true
+		if !st.classifiedReturn(info, node, ret.Results[0], k, depth+1) {
+			ok = false
+		}
+		return true
+	})
+	if !found {
+		ok = false
+	}
+	if ok {
+		st.helperMemo[key] = 1
+	} else {
+		st.helperMemo[key] = 2
+	}
+	return ok
+}
+
+// classifiedReturn is the restricted provenance check inside a helper
+// body: constants, empty string, or further helper calls. Parameters
+// and locals of the helper are opaque here.
+func (st *ecState) classifiedReturn(info *types.Info, node *CGNode, e ast.Expr, k *sinkKind, depth int) bool {
+	if depth > maxClassifyDepth {
+		return false
+	}
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return k.allowEmpty && e.Value == `""`
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		return obj != nil && st.consts[obj] == k
+	case *ast.SelectorExpr:
+		obj := info.ObjectOf(e.Sel)
+		return obj != nil && st.consts[obj] == k
+	case *ast.CallExpr:
+		return st.helperClassified(e, k, depth)
+	}
+	return false
+}
+
+// computeSinkParams iterates to fixpoint: a string parameter that is
+// stored into a sink field, or forwarded to another sink parameter,
+// is a sink parameter.
+func (st *ecState) computeSinkParams() {
+	for changed := true; changed; {
+		changed = false
+		for _, u := range st.units {
+			forEachLeaf(st.cfgs[u], func(leaf ast.Node) {
+				walkShallow(leaf, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.AssignStmt:
+						if len(m.Lhs) != len(m.Rhs) {
+							return true
+						}
+						for i, lhs := range m.Lhs {
+							k := st.sinkField(lhs)
+							if k == nil {
+								continue
+							}
+							if st.markParam(m.Rhs[i], k) {
+								changed = true
+							}
+						}
+					case *ast.CompositeLit:
+						if !st.compositeIsStruct(m) {
+							return true
+						}
+						for _, el := range m.Elts {
+							kv, ok := el.(*ast.KeyValueExpr)
+							if !ok {
+								continue
+							}
+							id, ok := kv.Key.(*ast.Ident)
+							if !ok {
+								continue
+							}
+							if k := sinkVar(st.info.ObjectOf(id)); k != nil && st.markParam(kv.Value, k) {
+								changed = true
+							}
+						}
+					case *ast.CallExpr:
+						fn := calleeFunc(st.info, m)
+						if fn == nil {
+							return true
+						}
+						sig, ok := fn.Type().(*types.Signature)
+						if !ok {
+							return true
+						}
+						for i, arg := range m.Args {
+							if i >= sig.Params().Len() {
+								break
+							}
+							if k, ok := st.sinkParams[sig.Params().At(i)]; ok {
+								if st.markParam(arg, k) {
+									changed = true
+								}
+							}
+						}
+					}
+					return true
+				})
+			})
+		}
+	}
+}
+
+func (st *ecState) compositeIsStruct(cl *ast.CompositeLit) bool {
+	tv, ok := st.info.Types[cl]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, isStruct := t.Underlying().(*types.Struct)
+	return isStruct
+}
+
+// markParam marks e as a sink parameter when it is an ident bound to a
+// parameter; reports whether the mark is new.
+func (st *ecState) markParam(e ast.Expr, k *sinkKind) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := st.info.ObjectOf(id)
+	if obj == nil || !st.params[obj] {
+		return false
+	}
+	if _, ok := st.sinkParams[obj]; ok {
+		return false
+	}
+	st.sinkParams[obj] = k
+	return true
+}
+
+// unitParamFields lists the parameter (and receiver) field lists of a
+// function unit.
+func unitParamFields(u ast.Node) []*ast.Field {
+	var out []*ast.Field
+	switch u := u.(type) {
+	case *ast.FuncDecl:
+		if u.Recv != nil {
+			out = append(out, u.Recv.List...)
+		}
+		if u.Type.Params != nil {
+			out = append(out, u.Type.Params.List...)
+		}
+	case *ast.FuncLit:
+		if u.Type.Params != nil {
+			out = append(out, u.Type.Params.List...)
+		}
+	}
+	return out
+}

@@ -28,16 +28,9 @@ type wantMark struct {
 }
 
 func TestAnalyzerFixtures(t *testing.T) {
-	makers := map[string]func() *Analyzer{
-		"nakedgo":      newNakedgo,
-		"ctxflow":      newCtxflow,
-		"determinism":  newDeterminism,
-		"failpointreg": newFailpointreg,
-		"obsnil":       newObsnil,
-		"retryckpt":    newRetryckpt,
-	}
 	root := repoRoot(t)
-	for name, mk := range makers {
+	for _, a := range Catalog() {
+		name := a.Name
 		t.Run(name, func(t *testing.T) {
 			fixRoot := filepath.Join(root, "internal", "analysis", "testdata", "src", name)
 			dirs := fixturePackages(t, fixRoot)
@@ -46,13 +39,51 @@ func TestAnalyzerFixtures(t *testing.T) {
 				FixtureRoot:  fixRoot,
 				Dirs:         dirs,
 				WholeProgram: true,
-			}, []*Analyzer{mk()})
+			}, []*Analyzer{catalogByName(t, name)})
 			if err != nil {
 				t.Fatalf("Vet: %v", err)
 			}
 			wants := collectWants(t, fixRoot, dirs)
 			matchWants(t, diags, wants)
 		})
+	}
+}
+
+// catalogByName hands out a fresh instance of the named analyzer; the
+// harness never reuses an instance across Vet runs.
+func catalogByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Catalog() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer %q in the catalog", name)
+	return nil
+}
+
+// TestCatalogFixtureCoverage pins registry completeness: every catalog
+// analyzer must own a fixture tree under testdata/src/<name>/ with at
+// least one package, so an analyzer cannot join the catalog without
+// want-marker coverage.
+func TestCatalogFixtureCoverage(t *testing.T) {
+	root := repoRoot(t)
+	for _, a := range Catalog() {
+		fixRoot := filepath.Join(root, "internal", "analysis", "testdata", "src", a.Name)
+		ents, err := os.ReadDir(fixRoot)
+		if err != nil {
+			t.Errorf("analyzer %s has no fixture tree: %v", a.Name, err)
+			continue
+		}
+		pkgs := 0
+		for _, e := range ents {
+			if e.IsDir() {
+				pkgs++
+			}
+		}
+		if pkgs == 0 {
+			t.Errorf("analyzer %s fixture tree %s has no packages", a.Name, fixRoot)
+		}
 	}
 }
 
@@ -146,7 +177,7 @@ func sameFile(a, b string) bool {
 
 // repoRoot walks up from the test's working directory to the module
 // root.
-func repoRoot(t *testing.T) string {
+func repoRoot(t testing.TB) string {
 	t.Helper()
 	dir, err := os.Getwd()
 	if err != nil {

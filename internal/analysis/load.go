@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded (parsed and type-checked) package. A package
@@ -59,6 +60,9 @@ type Program struct {
 	pkgs    map[string]*Package
 	loading map[string]bool
 	std     types.Importer
+
+	cgOnce sync.Once
+	cg     *CallGraph
 }
 
 // Lookup returns any loaded package (target or dependency) by import
@@ -94,6 +98,9 @@ type Config struct {
 	Dirs []string
 	// WholeProgram enables cross-package completeness checks.
 	WholeProgram bool
+	// Workers bounds the Vet worker pool for Parallel analyzers;
+	// 0 means GOMAXPROCS-many. Findings are identical for any value.
+	Workers int
 }
 
 // Load parses and type-checks the target packages and everything they

@@ -1,0 +1,678 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockorder derives the global mutex acquisition order and flags the
+// two deadlock shapes the service layer is exposed to:
+//
+//   - inconsistent ordering: lock B acquired while A is held in one
+//     place, and A while B is held in another (a cycle in the global
+//     acquisition graph), including the self-cycle of re-acquiring an
+//     exclusively-held lock;
+//   - a lock held across a blocking operation — channel send/receive,
+//     select without default, WaitGroup.Wait, time.Sleep, or file/
+//     network I/O — including operations only reachable through the
+//     module call graph. One finding is reported per (lock, blocking
+//     callee) pair at the first call site, so a deliberate pattern
+//     needs exactly one audited ignore.
+//
+// The held-lock set is a may-analysis over the per-function CFG:
+// gen at Lock/RLock, kill at Unlock/RUnlock, with deferred unlocks
+// (correctly) keeping the lock held until exit. sync.Cond.Wait is
+// exempt — it releases its locker while parked.
+func newLockorder() *Analyzer {
+	lo := &lockorder{
+		fnBlock:   map[*types.Func]string{},
+		fnLocks:   map[*types.Func]map[types.Object]bool{},
+		litBlock:  map[*ast.FuncLit]string{},
+		litLocks:  map[*ast.FuncLit]map[types.Object]bool{},
+		litDone:   map[*ast.FuncLit]bool{},
+		localLits: map[types.Object]*litRef{},
+		commSkip:  map[ast.Node]bool{},
+		lockNames: map[types.Object]string{},
+		blockCand: map[blockKey]*posMsg{},
+		edges:     map[orderKey]*posMsg{},
+	}
+	return &Analyzer{
+		Name:     "lockorder",
+		Doc:      "no inconsistent mutex acquisition orders; no lock held across a blocking op (dataflow over the CFG + call graph)",
+		Run:      lo.run,
+		Finish:   lo.finish,
+		Parallel: false,
+	}
+}
+
+type litRef struct {
+	lit  *ast.FuncLit
+	info *types.Info
+}
+
+type blockKey struct {
+	lock types.Object
+	desc string // qualified callee or direct-op kind
+}
+
+type orderKey struct {
+	held, acquired types.Object
+}
+
+type posMsg struct {
+	pos token.Pos
+	// posKey orders candidate positions deterministically.
+	posKey string
+	msg    string
+}
+
+type lockorder struct {
+	prog *Program
+
+	// Whole-program summaries, built once on first Run.
+	built     bool
+	fnBlock   map[*types.Func]string                // transitive blocking reason, "" if absent
+	fnLocks   map[*types.Func]map[types.Object]bool // transitive locks acquired
+	litBlock  map[*ast.FuncLit]string
+	litLocks  map[*ast.FuncLit]map[types.Object]bool
+	litDone   map[*ast.FuncLit]bool
+	localLits map[types.Object]*litRef // x := func(){...} bindings, module-wide
+	commSkip  map[ast.Node]bool        // select comm statements (their send/recv is the select's)
+	lockNames map[types.Object]string
+
+	blockCand map[blockKey]*posMsg // deduped held-across-blocking candidates
+	edges     map[orderKey]*posMsg // acquisition-order edges
+}
+
+func (lo *lockorder) run(prog *Program, pkg *Package, report Reporter) {
+	lo.buildSummaries(prog)
+	for _, f := range pkg.Files {
+		cfgs := funcCFGs([]*ast.File{f})
+		// Deterministic unit order: by position.
+		units := make([]ast.Node, 0, len(cfgs))
+		for u := range cfgs {
+			units = append(units, u)
+		}
+		sort.Slice(units, func(i, j int) bool { return units[i].Pos() < units[j].Pos() })
+		for _, u := range units {
+			lo.checkUnit(prog, pkg, u, cfgs[u], report)
+		}
+	}
+}
+
+// checkUnit runs the held-locks dataflow over one function body and
+// scans every leaf node against the facts that hold before it.
+func (lo *lockorder) checkUnit(prog *Program, pkg *Package, unit ast.Node, cfg *CFG, report Reporter) {
+	info := pkg.Info
+
+	// Local lock table: every lock object operated on in this unit.
+	var locks []types.Object
+	lockIdx := map[types.Object]int{}
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				continue
+			}
+			walkShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if _, recv := mutexOp(info, call); recv != nil {
+					if obj := lockObject(info, recv); obj != nil {
+						if _, ok := lockIdx[obj]; !ok {
+							lockIdx[obj] = len(locks)
+							locks = append(locks, obj)
+							lo.nameLock(obj, info, recv)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(locks) == 0 {
+		return
+	}
+
+	transfer := func(n ast.Node, facts *BitSet) {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return // deferred unlocks run at exit; the lock stays held
+		}
+		walkShallow(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			op, recv := mutexOp(info, call)
+			if recv == nil {
+				return true
+			}
+			obj := lockObject(info, recv)
+			if obj == nil {
+				return true
+			}
+			if i, ok := lockIdx[obj]; ok {
+				switch op {
+				case "Lock", "RLock":
+					facts.Set(i)
+				case "Unlock", "RUnlock":
+					facts.Clear(i)
+				}
+			}
+			return true
+		})
+	}
+	flow := &Flow{CFG: cfg, NumFacts: len(locks), Transfer: transfer}
+	blockIn := flow.Solve()
+
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				continue
+			}
+			facts, ok := flow.At(n, blockIn)
+			if !ok {
+				continue
+			}
+			lo.scanNode(prog, pkg, n, facts, locks, lockIdx, report)
+		}
+	}
+}
+
+// scanNode inspects one leaf node with the held set that holds on
+// entry to it, applying lock transitions as it walks so a
+// mid-statement sequence stays precise.
+func (lo *lockorder) scanNode(prog *Program, pkg *Package, n ast.Node, held *BitSet,
+	locks []types.Object, lockIdx map[types.Object]int, report Reporter) {
+	info := pkg.Info
+	heldObjs := func() []types.Object {
+		var out []types.Object
+		for _, i := range held.Bits() {
+			out = append(out, locks[i])
+		}
+		return out
+	}
+
+	walkShallow(n, func(m ast.Node) bool {
+		if lo.commSkip[m] {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			lo.reportDirect(heldObjs(), "channel send", m.Pos(), report)
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				lo.reportDirect(heldObjs(), "channel receive", m.Pos(), report)
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(m) {
+				lo.reportDirect(heldObjs(), "select", m.Pos(), report)
+			}
+		case *ast.RangeStmt:
+			if t, ok := info.Types[m.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					lo.reportDirect(heldObjs(), "range over channel", m.Pos(), report)
+				}
+			}
+		case *ast.CallExpr:
+			op, recv := mutexOp(info, m)
+			if recv != nil {
+				if obj := lockObject(info, recv); obj != nil {
+					if op == "Lock" || op == "RLock" {
+						for _, h := range heldObjs() {
+							lo.recordEdge(prog, h, obj, op, m.Pos())
+						}
+					}
+					if i, ok := lockIdx[obj]; ok {
+						switch op {
+						case "Lock", "RLock":
+							held.Set(i)
+						case "Unlock", "RUnlock":
+							held.Clear(i)
+						}
+					}
+				}
+				return true
+			}
+			fn := calleeFunc(info, m)
+			if fn != nil {
+				if desc := stdlibBlocking(fn); desc != "" {
+					lo.reportDirect(heldObjs(), desc, m.Pos(), report)
+					return true
+				}
+				if reason := lo.fnBlock[fn]; reason != "" {
+					lo.candidate(heldObjs(), qualName(fn), reason, m.Pos())
+				}
+				for obj := range lo.fnLocks[fn] {
+					for _, h := range heldObjs() {
+						lo.recordEdge(prog, h, obj, "Lock", m.Pos())
+					}
+				}
+				return true
+			}
+			// A call through a local closure binding.
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok {
+				if ref := lo.localLits[info.ObjectOf(id)]; ref != nil {
+					lo.summarizeLit(ref)
+					if reason := lo.litBlock[ref.lit]; reason != "" {
+						lo.candidate(heldObjs(), pkg.Types.Name()+"."+id.Name, reason, m.Pos())
+					}
+					for obj := range lo.litLocks[ref.lit] {
+						for _, h := range heldObjs() {
+							lo.recordEdge(prog, h, obj, "Lock", m.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (lo *lockorder) reportDirect(held []types.Object, kind string, pos token.Pos, report Reporter) {
+	for _, h := range held {
+		report(pos, "%s while holding %s; a parked goroutine blocks every contender on the lock", kind, lo.lockNames[h])
+	}
+}
+
+// candidate dedups call-mediated blocking findings to one per
+// (lock, callee) at the smallest position.
+func (lo *lockorder) candidate(held []types.Object, callee, reason string, pos token.Pos) {
+	for _, h := range held {
+		key := blockKey{h, callee}
+		pk := posKey(lo.prog, pos)
+		msg := fmt.Sprintf("call to %s blocks (%s) while holding %s", callee, reason, lo.lockNames[h])
+		if cur, ok := lo.blockCand[key]; !ok || pk < cur.posKey {
+			lo.blockCand[key] = &posMsg{pos: pos, posKey: pk, msg: msg}
+		}
+	}
+}
+
+func (lo *lockorder) recordEdge(prog *Program, held, acquired types.Object, op string, pos token.Pos) {
+	if held == acquired && op != "Lock" {
+		return // RLock while already held is shared re-entry, not a self-cycle
+	}
+	key := orderKey{held, acquired}
+	pk := posKey(prog, pos)
+	if cur, ok := lo.edges[key]; !ok || pk < cur.posKey {
+		lo.edges[key] = &posMsg{pos: pos, posKey: pk}
+	}
+}
+
+func (lo *lockorder) finish(prog *Program, report Reporter) {
+	// Held-across-blocking candidates, one per (lock, callee).
+	keys := make([]blockKey, 0, len(lo.blockCand))
+	for k := range lo.blockCand {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return lo.blockCand[keys[i]].posKey < lo.blockCand[keys[j]].posKey
+	})
+	for _, k := range keys {
+		c := lo.blockCand[k]
+		report(c.pos, "%s", c.msg)
+	}
+
+	// Cycles in the acquisition-order graph (self-edges included).
+	adj := map[types.Object][]types.Object{}
+	for k := range lo.edges {
+		adj[k.held] = append(adj[k.held], k.acquired)
+	}
+	reaches := func(from, to types.Object) bool {
+		seen := map[types.Object]bool{}
+		var dfs func(o types.Object) bool
+		dfs = func(o types.Object) bool {
+			if o == to {
+				return true
+			}
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+			for _, nx := range adj[o] {
+				if dfs(nx) {
+					return true
+				}
+			}
+			return false
+		}
+		return dfs(from)
+	}
+	ekeys := make([]orderKey, 0, len(lo.edges))
+	for k := range lo.edges {
+		ekeys = append(ekeys, k)
+	}
+	sort.Slice(ekeys, func(i, j int) bool {
+		return lo.edges[ekeys[i]].posKey < lo.edges[ekeys[j]].posKey
+	})
+	for _, k := range ekeys {
+		e := lo.edges[k]
+		if k.held == k.acquired {
+			report(e.pos, "%s acquired while already held (self-deadlock)", lo.lockNames[k.acquired])
+			continue
+		}
+		if reaches(k.acquired, k.held) {
+			report(e.pos, "%s acquired while holding %s, but the opposite order also exists (lock-order cycle)",
+				lo.lockNames[k.acquired], lo.lockNames[k.held])
+		}
+	}
+}
+
+// ---- whole-program summaries ----
+
+// buildSummaries computes, once per Vet, the transitive blocking reason
+// and acquired-locks set of every declared function, plus the local
+// closure bindings and select-comm skip set used during unit scans.
+func (lo *lockorder) buildSummaries(prog *Program) {
+	if lo.built {
+		return
+	}
+	lo.built = true
+	lo.prog = prog
+	g := prog.CallGraph()
+
+	g.Walk(func(n *CGNode) {
+		info := n.Pkg.Info
+		// Local closure bindings and comm stmts anywhere in the body.
+		ast.Inspect(n.Decl.Body, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range m.Rhs {
+					if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok && i < len(m.Lhs) {
+						if id, ok := m.Lhs[i].(*ast.Ident); ok {
+							if obj := info.ObjectOf(id); obj != nil {
+								lo.localLits[obj] = &litRef{lit: lit, info: info}
+							}
+						}
+					}
+				}
+			case *ast.CommClause:
+				if m.Comm != nil {
+					lo.commSkip[m.Comm] = true
+				}
+			}
+			return true
+		})
+		// Direct effects: blocking ops and lock acquisitions in the body
+		// and its non-spawned closures.
+		reason, lockSet := directEffects(n.Decl.Body, info, lo)
+		lo.fnBlock[n.Fn] = reason
+		lo.fnLocks[n.Fn] = lockSet
+	})
+
+	// Transitive closure over non-async edges.
+	for changed := true; changed; {
+		changed = false
+		g.Walk(func(n *CGNode) {
+			for _, e := range n.Calls {
+				if e.Async {
+					continue
+				}
+				if lo.fnBlock[n.Fn] == "" && lo.fnBlock[e.Callee.Fn] != "" {
+					lo.fnBlock[n.Fn] = "via " + qualName(e.Callee.Fn)
+					changed = true
+				}
+				for obj := range lo.fnLocks[e.Callee.Fn] {
+					if !lo.fnLocks[n.Fn][obj] {
+						if lo.fnLocks[n.Fn] == nil {
+							lo.fnLocks[n.Fn] = map[types.Object]bool{}
+						}
+						lo.fnLocks[n.Fn][obj] = true
+						changed = true
+					}
+				}
+			}
+		})
+	}
+}
+
+// summarizeLit computes (memoized) the blocking reason and lock set of
+// one closure, resolving its calls through declared functions and
+// sibling closure bindings.
+func (lo *lockorder) summarizeLit(ref *litRef) {
+	if lo.litDone[ref.lit] {
+		return
+	}
+	lo.litDone[ref.lit] = true // set first: cycle guard
+	reason, lockSet := directEffects(ref.lit.Body, ref.info, lo)
+	g := lo.prog.CallGraph()
+	ast.Inspect(ref.lit.Body, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok && m != ref.lit {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(ref.info, call); fn != nil && g.Nodes[fn] != nil {
+			if reason == "" && lo.fnBlock[fn] != "" {
+				reason = "via " + qualName(fn)
+			}
+			for obj := range lo.fnLocks[fn] {
+				lockSet[obj] = true
+			}
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if sub := lo.localLits[ref.info.ObjectOf(id)]; sub != nil && sub.lit != ref.lit {
+				lo.summarizeLit(sub)
+				if reason == "" && lo.litBlock[sub.lit] != "" {
+					reason = "via " + id.Name
+				}
+				for obj := range lo.litLocks[sub.lit] {
+					lockSet[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	lo.litBlock[ref.lit] = reason
+	lo.litLocks[ref.lit] = lockSet
+}
+
+// directEffects scans a body (descending into closures, which run on
+// some goroutine of this function unless spawned) for directly
+// blocking operations and lock acquisitions.
+func directEffects(body ast.Node, info *types.Info, lo *lockorder) (string, map[types.Object]bool) {
+	reason := ""
+	lockSet := map[types.Object]bool{}
+	see := func(r string) {
+		if reason == "" {
+			reason = r
+		}
+	}
+	var walk func(node ast.Node)
+	walk = func(node ast.Node) {
+		ast.Inspect(node, func(m ast.Node) bool {
+			if lo.commSkip[m] {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				for _, arg := range m.Call.Args {
+					walk(arg)
+				}
+				return false
+			case *ast.SendStmt:
+				see("channel send")
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					see("channel receive")
+				}
+			case *ast.SelectStmt:
+				if !selectHasDefault(m) {
+					see("select")
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, m); fn != nil {
+					if isResilientSpawn(fn) {
+						// The task closure runs async; only scan the
+						// non-closure arguments.
+						for _, arg := range m.Args {
+							if _, ok := ast.Unparen(arg).(*ast.FuncLit); !ok {
+								walk(arg)
+							}
+						}
+						return false
+					}
+					if desc := stdlibBlocking(fn); desc != "" {
+						see(desc)
+					}
+				}
+				if _, recv := mutexOp(info, m); recv != nil {
+					if obj := lockObject(info, recv); obj != nil {
+						lo.nameLock(obj, info, recv)
+						lockSet[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body)
+	return reason, lockSet
+}
+
+// ---- lock and blocking-op recognition ----
+
+// mutexOp reports whether call is Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex, returning the op name and receiver
+// expression.
+func mutexOp(info *types.Info, call *ast.CallExpr) (string, ast.Expr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "sync" {
+		return "", nil
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", nil
+	}
+	if n := recvTypeNameOf(fn); n != "Mutex" && n != "RWMutex" {
+		return "", nil
+	}
+	return fn.Name(), sel.X
+}
+
+// lockObject resolves a mutex receiver expression to a stable object:
+// the field, package variable, or local variable holding the lock.
+func lockObject(info *types.Info, recv ast.Expr) types.Object {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	}
+	return nil
+}
+
+// nameLock records a display name for the lock: pkg.Type.field for
+// struct fields, pkg.var otherwise.
+func (lo *lockorder) nameLock(obj types.Object, info *types.Info, recv ast.Expr) {
+	if _, ok := lo.lockNames[obj]; ok {
+		return
+	}
+	pkgName := ""
+	if obj.Pkg() != nil {
+		pkgName = obj.Pkg().Name() + "."
+	}
+	name := pkgName + obj.Name()
+	if sel, ok := ast.Unparen(recv).(*ast.SelectorExpr); ok {
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			if tv, ok := info.Types[sel.X]; ok {
+				t := tv.Type
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					name = pkgName + named.Obj().Name() + "." + obj.Name()
+				}
+			}
+		}
+	}
+	lo.lockNames[obj] = name
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// stdlibBlocking classifies a resolved callee as a known blocking
+// stdlib operation ("" otherwise). sync.Cond.Wait is deliberately not
+// here: it releases its locker while parked (the worker-loop idiom).
+var osIOFuncs = map[string]bool{
+	"Create": true, "CreateTemp": true, "Open": true, "OpenFile": true,
+	"ReadFile": true, "WriteFile": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "Mkdir": true, "MkdirAll": true, "MkdirTemp": true,
+	"ReadDir": true, "Stat": true, "Lstat": true, "Chmod": true,
+	"Chtimes": true, "Truncate": true, "Symlink": true, "Link": true,
+}
+
+var httpBlockingFuncs = map[string]bool{
+	"Get": true, "Post": true, "PostForm": true, "Head": true,
+	"ListenAndServe": true, "ListenAndServeTLS": true, "Serve": true, "ServeTLS": true,
+}
+
+func stdlibBlocking(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	recv := recvTypeNameOf(fn)
+	switch fn.Pkg().Path() {
+	case "sync":
+		if fn.Name() == "Wait" && recv == "WaitGroup" {
+			return "WaitGroup.Wait"
+		}
+	case "time":
+		if fn.Name() == "Sleep" && recv == "" {
+			return "time.Sleep"
+		}
+	case "os":
+		if recv == "File" {
+			return "os.File I/O"
+		}
+		if recv == "" && osIOFuncs[fn.Name()] {
+			return "os file I/O (os." + fn.Name() + ")"
+		}
+	case "net":
+		return "network I/O (net." + fn.Name() + ")"
+	case "net/http":
+		if recv == "Client" || recv == "Server" || recv == "Transport" {
+			return "HTTP I/O (http." + recv + "." + fn.Name() + ")"
+		}
+		if recv == "" && httpBlockingFuncs[fn.Name()] {
+			return "HTTP I/O (http." + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
+func qualName(fn *types.Func) string {
+	name := fn.Name()
+	if r := recvTypeNameOf(fn); r != "" {
+		name = r + "." + name
+	}
+	if fn.Pkg() != nil {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// posKey renders a position as a sortable file:line:col string.
+func posKey(prog *Program, pos token.Pos) string {
+	p := prog.Fset.Position(pos)
+	return fmt.Sprintf("%s:%08d:%08d", p.Filename, p.Line, p.Column)
+}

@@ -12,8 +12,9 @@ import "go/ast"
 // suite exercises.
 func newNakedgo() *Analyzer {
 	a := &Analyzer{
-		Name: "nakedgo",
-		Doc:  "engine packages must spawn goroutines via resilient.Go so panics stay quarantined",
+		Name:     "nakedgo",
+		Doc:      "engine packages must spawn goroutines via resilient.Go so panics stay quarantined",
+		Parallel: true,
 	}
 	a.Run = func(prog *Program, pkg *Package, report Reporter) {
 		if !isEnginePkg(pkg) {

@@ -17,8 +17,9 @@ import (
 // machine-checked finding rather than a code-review hope.
 func newRetryckpt() *Analyzer {
 	a := &Analyzer{
-		Name: "retryckpt",
-		Doc:  "task adapters (run(ctx, taskEnv) methods) must thread env.ckpt so retries resume from the job checkpoint",
+		Name:     "retryckpt",
+		Doc:      "task adapters (run(ctx, taskEnv) methods) must thread env.ckpt so retries resume from the job checkpoint",
+		Parallel: true,
 	}
 	a.Run = func(prog *Program, pkg *Package, report Reporter) {
 		for _, f := range pkg.Files {

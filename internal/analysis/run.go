@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"go/scanner"
 	"go/token"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Vet loads the configured packages and runs the given analyzers over
@@ -14,13 +16,23 @@ import (
 // — degrade to diagnostics on the package instead of aborting the
 // whole run, so one corrupt file never hides findings elsewhere; only
 // infrastructure failures (bad root, unreadable dirs) return an error.
+//
+// Analyzers marked Parallel fan out per package over cfg.Workers
+// goroutines; stateful analyzers visit their packages sequentially (in
+// path order) on one worker. The final position sort makes the output
+// identical for any worker count.
 func Vet(cfg Config, analyzers []*Analyzer) ([]Diagnostic, error) {
 	prog, err := Load(cfg)
 	if err != nil {
 		return nil, err
 	}
+	var mu sync.Mutex
 	var diags []Diagnostic
-	emit := func(d Diagnostic) { diags = append(diags, d) }
+	emit := func(d Diagnostic) {
+		mu.Lock()
+		diags = append(diags, d)
+		mu.Unlock()
+	}
 	reporterFor := func(name string) Reporter {
 		return func(pos token.Pos, format string, args ...any) {
 			emit(Diagnostic{
@@ -33,6 +45,7 @@ func Vet(cfg Config, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 	ignores := collectIgnores(prog, prog.Targets, emit)
 
+	var healthy []*Package
 	for _, pkg := range prog.Targets {
 		if pkg.Broken() {
 			// Surface every reason the package could not be analyzed;
@@ -61,10 +74,55 @@ func Vet(cfg Config, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 			continue
 		}
-		for _, a := range analyzers {
-			a.Run(prog, pkg, reporterFor(a.Name))
+		healthy = append(healthy, pkg)
+	}
+
+	// One unit per (parallel analyzer, package); one unit per stateful
+	// analyzer covering all packages in order.
+	type unit struct {
+		a    *Analyzer
+		pkgs []*Package
+	}
+	var units []unit
+	for _, a := range analyzers {
+		if a.Parallel {
+			for _, pkg := range healthy {
+				units = append(units, unit{a, []*Package{pkg}})
+			}
+		} else {
+			units = append(units, unit{a, healthy})
 		}
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	unitCh := make(chan unit)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range unitCh {
+				rep := reporterFor(u.a.Name)
+				for _, pkg := range u.pkgs {
+					u.a.Run(prog, pkg, rep)
+				}
+			}
+		}()
+	}
+	for _, u := range units {
+		unitCh <- u
+	}
+	close(unitCh)
+	wg.Wait()
+
 	for _, a := range analyzers {
 		if a.Finish != nil {
 			a.Finish(prog, reporterFor(a.Name))
@@ -88,7 +146,10 @@ func Vet(cfg Config, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
 	return kept, nil
 }

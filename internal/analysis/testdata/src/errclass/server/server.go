@@ -1,0 +1,151 @@
+// Package server is the errclass fixture: terminal state/errType
+// stores must provably derive from the State*/ErrType* classification
+// constants — through locals (reaching definitions), sink parameters,
+// and classifier helpers — while raw strings and field loads are
+// findings.
+package server
+
+// Classification constants, mirroring the supervision layer.
+const (
+	StateDone    = "done"
+	StateFailed  = "failed"
+	ErrTypeFatal = "fatal"
+	ErrTypeRetry = "retryable"
+)
+
+type job struct {
+	state   string
+	errType string
+}
+
+// Direct stores a constant: clean.
+func Direct(j *job) {
+	j.state = StateDone
+	j.errType = ""
+}
+
+// RawString stores an unblessed literal.
+func RawString(j *job) {
+	j.state = "done" // want `unclassified value stored in the terminal state field`
+}
+
+// EmptyState stores "", which is only the success value for errType.
+func EmptyState(j *job) {
+	j.state = "" // want `unclassified value stored in the terminal state field`
+}
+
+// setState is a sink parameter: its callers are checked instead.
+func setState(j *job, st string) {
+	j.state = st
+}
+
+// CallConst forwards a constant through the sink parameter: clean.
+func CallConst(j *job) {
+	setState(j, StateFailed)
+}
+
+// CallRaw forwards a raw string through the sink parameter.
+func CallRaw(j *job) {
+	setState(j, "oops") // want `unclassified value passed as the state parameter of setState`
+}
+
+// Branches joins two classified definitions: the reaching-defs
+// dataflow proves both and the store is clean.
+func Branches(j *job, ok bool) {
+	st := StateDone
+	if !ok {
+		st = StateFailed
+	}
+	j.state = st
+}
+
+// BranchesBad joins a classified and an unclassified definition.
+func BranchesBad(j *job, ok bool) {
+	st := StateDone
+	if !ok {
+		st = "broken"
+	}
+	j.state = st // want `unclassified value stored in the terminal state field`
+}
+
+// Overwritten: the raw definition is dead at the store; only the
+// constant reaches it. Clean.
+func Overwritten(j *job) {
+	st := "scratch"
+	_ = st
+	st = StateDone
+	j.state = st
+}
+
+// classify is a classifier helper: every return is a constant or the
+// empty success value.
+func classify(err error) string {
+	if err == nil {
+		return ""
+	}
+	return ErrTypeRetry
+}
+
+// ViaHelper reclassifies an error through the helper: clean.
+func ViaHelper(j *job, err error) {
+	j.errType = classify(err)
+}
+
+// describe leaks the raw error text, so it is not a classifier.
+func describe(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// ViaBadHelper stores a helper result that is not provably classified.
+func ViaBadHelper(j *job, err error) {
+	j.errType = describe(err) // want `unclassified value stored in the terminal errType field`
+}
+
+// Literal builds a job with keyed fields: the constant is clean, the
+// raw string is a finding.
+func Literal(raw bool) *job {
+	if raw {
+		return &job{
+			state: "made-up", // want `unclassified value stored in the terminal state field`
+		}
+	}
+	return &job{state: StateDone, errType: ""}
+}
+
+// gauge is a breaker-like machine whose int-valued state field shares
+// the sink name but not the contract: out of scope, no findings.
+type gauge struct {
+	state int
+}
+
+func (g *gauge) trip(st int) {
+	g.state = st
+}
+
+// Trip drives the int state machine freely: clean.
+func Trip(g *gauge) {
+	g.trip(2)
+	g.state = 1
+}
+
+// record is a persisted ledger row: loading it back is a trust
+// boundary the dataflow cannot cross.
+type record struct {
+	State string
+}
+
+// Resume stores a field load, which is never classified without an
+// audited ignore.
+func Resume(j *job, rec record) {
+	j.state = rec.State // want `unclassified value stored in the terminal state field`
+}
+
+// ResumeAudited carries the audited suppression and must not be
+// reported.
+func ResumeAudited(j *job, rec record) {
+	//mstxvet:ignore errclass ledger round-trip: values were classified before persisting
+	j.state = rec.State
+}

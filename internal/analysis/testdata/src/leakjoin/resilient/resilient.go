@@ -1,0 +1,17 @@
+// Package resilient is a minimal stand-in for mstx/internal/resilient
+// so the leakjoin fixture can exercise supervised spawns without
+// loading the real engine tree.
+package resilient
+
+import "sync"
+
+// Go mirrors the real resilient.Go signature.
+func Go(wg *sync.WaitGroup, site string, fn func() error, onErr func(error)) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := fn(); err != nil && onErr != nil {
+			onErr(err)
+		}
+	}()
+}

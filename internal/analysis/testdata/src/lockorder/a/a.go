@@ -1,0 +1,156 @@
+// Package a is the lockorder fixture: inconsistent acquisition orders
+// and locks held across blocking operations are findings; disciplined
+// orders, unlock-before-block, select-with-default and Cond.Wait are
+// not.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// OrderAB acquires A then B: one direction of the cycle.
+func OrderAB() {
+	muA.Lock()
+	muB.Lock() // want `a.muB acquired while holding a.muA, but the opposite order also exists \(lock-order cycle\)`
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// OrderBA acquires B then A: the opposite direction, closing the cycle.
+func OrderBA() {
+	muB.Lock()
+	muA.Lock() // want `a.muA acquired while holding a.muB, but the opposite order also exists \(lock-order cycle\)`
+	muA.Unlock()
+	muB.Unlock()
+}
+
+var muSelf sync.Mutex
+
+// SelfDeadlock re-acquires an exclusively held lock.
+func SelfDeadlock() {
+	muSelf.Lock()
+	muSelf.Lock() // want `a.muSelf acquired while already held \(self-deadlock\)`
+	muSelf.Unlock()
+	muSelf.Unlock()
+}
+
+var muSend sync.Mutex
+
+// SendUnderLock parks on a channel send with the lock held.
+func SendUnderLock(ch chan int) {
+	muSend.Lock()
+	ch <- 1 // want `channel send while holding a.muSend; a parked goroutine blocks every contender on the lock`
+	muSend.Unlock()
+}
+
+var muDefer sync.Mutex
+
+// RecvUnderDeferredUnlock: the deferred unlock (correctly) keeps the
+// lock held for the whole body, so the receive parks under it.
+func RecvUnderDeferredUnlock(ch chan int) int {
+	muDefer.Lock()
+	defer muDefer.Unlock()
+	return <-ch // want `channel receive while holding a.muDefer; a parked goroutine blocks every contender on the lock`
+}
+
+var muWait sync.Mutex
+
+// WaitUnderLock blocks on a WaitGroup with the lock held.
+func WaitUnderLock(wg *sync.WaitGroup) {
+	muWait.Lock()
+	wg.Wait() // want `WaitGroup.Wait while holding a.muWait; a parked goroutine blocks every contender on the lock`
+	muWait.Unlock()
+}
+
+var muVia sync.Mutex
+
+// snapshot blocks transitively: it sleeps.
+func snapshot() {
+	time.Sleep(time.Millisecond)
+}
+
+// SnapshotUnderLock calls a blocking function with the lock held; the
+// call graph proves the transitive block.
+func SnapshotUnderLock() {
+	muVia.Lock()
+	snapshot() // want `call to a.snapshot blocks \(time.Sleep\) while holding a.muVia`
+	muVia.Unlock()
+}
+
+var muClean sync.Mutex
+
+// UnlockBeforeSend releases the lock before parking: clean.
+func UnlockBeforeSend(ch chan int) {
+	muClean.Lock()
+	v := 1
+	muClean.Unlock()
+	ch <- v
+}
+
+var muPoll sync.Mutex
+
+// PollUnderLock uses select-with-default, which cannot park: clean.
+func PollUnderLock(ch chan int) (int, bool) {
+	muPoll.Lock()
+	defer muPoll.Unlock()
+	select {
+	case v := <-ch:
+		return v, true
+	default:
+		return 0, false
+	}
+}
+
+var (
+	muCond sync.Mutex
+	cond   = sync.NewCond(&muCond)
+	ready  bool
+)
+
+// WaitCond parks on a condition variable, which releases its locker
+// while parked: clean.
+func WaitCond() {
+	muCond.Lock()
+	for !ready {
+		cond.Wait()
+	}
+	muCond.Unlock()
+}
+
+var (
+	muOuter sync.Mutex
+	muInner sync.Mutex
+)
+
+// Nested acquires inner under outer consistently everywhere: clean.
+func Nested() {
+	muOuter.Lock()
+	muInner.Lock()
+	muInner.Unlock()
+	muOuter.Unlock()
+}
+
+// NestedAgain repeats the same order, so no cycle forms.
+func NestedAgain() {
+	muOuter.Lock()
+	muInner.Lock()
+	muInner.Unlock()
+	muOuter.Unlock()
+}
+
+var muIgnored sync.Mutex
+
+// SleepSuppressed carries an audited suppression for a deliberate
+// sleep-under-lock and must not be reported.
+func SleepSuppressed() {
+	muIgnored.Lock()
+	//mstxvet:ignore lockorder fixture exercising the suppression idiom
+	time.Sleep(time.Millisecond)
+	muIgnored.Unlock()
+}

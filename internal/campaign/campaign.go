@@ -374,6 +374,7 @@ func (e *Engine) Run(ctx context.Context, xs []int64) (*fault.Report, *Stats, er
 		sinceSave++
 		if sinceSave >= e.Opts.Checkpoint.Interval() {
 			sinceSave = 0
+			//mstxvet:ignore lockorder deliberate snapshot under the ledger lock: the save must serialize with batch commits
 			if err := saveLedgerLocked(); err != nil && ckptErr == nil {
 				ckptErr = err
 				atomic.StoreInt32(&failed, 1)
@@ -583,6 +584,10 @@ func (e *Engine) Run(ctx context.Context, xs []int64) (*fault.Report, *Stats, er
 		}, onPool)
 	}
 	detWG.Wait()
+	// The detection pool only exits once jobs is closed, so the closer
+	// (and transitively every sim worker) is already past its final
+	// send; this join is what lets a caller prove quiescence.
+	closerWG.Wait()
 	pipeSp.End()
 
 	if ckptErr != nil {

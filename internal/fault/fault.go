@@ -471,6 +471,7 @@ func SimulateOpts(ctx context.Context, u *Universe, xs []int64, det Detector, op
 		sinceSave++
 		if sinceSave >= opts.Checkpoint.Interval() {
 			sinceSave = 0
+			//mstxvet:ignore lockorder deliberate snapshot under the ledger lock: the save must serialize with batch commits
 			return saveLedgerLocked()
 		}
 		return nil

@@ -381,7 +381,7 @@ func (s *Server) resume() error {
 			ID:       rec.ID,
 			Tenant:   rec.Tenant,
 			Spec:     rec.Spec,
-			state:    rec.State,
+			state:    rec.State, //mstxvet:ignore errclass ledger round-trip: values were classified before persisting (trust boundary)
 			errType:  rec.ErrType,
 			errMsg:   rec.ErrMsg,
 			result:   rec.Result,
@@ -422,6 +422,7 @@ func (s *Server) resume() error {
 		s.order = append(s.order, j.ID)
 	}
 	s.gQueued.Set(float64(s.q.queued))
+	//mstxvet:ignore lockorder resume snapshot is saved under s.mu by design so no transition can interleave
 	s.saveLedgerLocked()
 	return nil
 }
@@ -498,6 +499,7 @@ func (s *Server) Cancel(id string) bool {
 			delete(s.retryTimers, j.ID)
 		}
 		s.gQueued.Set(float64(s.q.queued))
+		//mstxvet:ignore lockorder terminal transitions persist their own ledger snapshot under s.mu by design
 		s.finishLocked(j, StateCanceled, ErrTypeCanceled, "canceled before start")
 	case StateRunning:
 		j.cancelRequested = true

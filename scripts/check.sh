@@ -25,10 +25,21 @@ go vet ./...
 
 echo "== mstxvet (project invariants) =="
 # The internal/analysis catalog: panic quarantine, context threading,
-# determinism, failpoint registry coverage, obs nil-safety. Must be
-# self-clean over the whole repo (suppressions need an audited
+# determinism, failpoint registry coverage, obs nil-safety, retry
+# checkpointing, plus the dataflow analyzers (lock ordering, goroutine
+# joins, error classification) built on the CFG/call-graph layer. Must
+# be self-clean over the whole repo (suppressions need an audited
 # //mstxvet:ignore <analyzer> <reason>).
 go run ./cmd/mstxvet ./...
+
+echo "== mstxvet -json (machine-readable contract) =="
+# The JSON surface CI consumers parse: a clean tree is exactly the
+# empty array, byte for byte.
+json_out=$(go run ./cmd/mstxvet -json ./...)
+if [ "$json_out" != "[]" ]; then
+    echo "mstxvet -json on a clean tree printed: $json_out" >&2
+    exit 1
+fi
 
 echo "== go build =="
 go build ./...
@@ -198,6 +209,20 @@ go test -run '^$' -bench 'BenchmarkSOCSchedule' -benchmem -benchtime 3x \
     . >"$tmp/bench_soc.txt"
 go run ./cmd/benchrecord -out BENCH_soc.json -sha "$sha" -date "$now" \
     -compare -max-ns-regress 25 <"$tmp/bench_soc.txt"
+
+echo "== bench record + regression gate (mstxvet catalog) =="
+# The vet-runtime budget: the full analyzer catalog (CFG + call graph
+# + dataflow) over two real packages. check.sh runs the catalog on
+# every merge, so its cost must stay visible in a trajectory like the
+# engine benchmarks. 50% ns headroom: a whole-program load + type
+# check dominates and is noisier than the compute-bound pairs. The
+# allocs/op count jitters by a handful in millions (go/types interns
+# as it goes), so this gate alone takes 1% alloc slack instead of the
+# exact default.
+go test -run '^$' -bench 'BenchmarkMstxvet' -benchmem -benchtime 3x \
+    ./internal/analysis >"$tmp/bench_mstxvet.txt"
+go run ./cmd/benchrecord -out BENCH_mstxvet.json -sha "$sha" -date "$now" \
+    -compare -max-ns-regress 50 -max-allocs-regress 1 <"$tmp/bench_mstxvet.txt"
 
 echo "== fuzz smoke (netlist parser) =="
 # Ten seconds of coverage-guided fuzzing on top of the checked-in seed
